@@ -1,0 +1,108 @@
+// Command slingshot-sim regenerates the paper's figures on the simulated
+// systems. Each figure accepts a scale so that full paper-sized grids (512
+// to 1024 nodes) and quick reduced runs use the same code path:
+//
+//	slingshot-sim -fig 2                # switch latency distribution
+//	slingshot-sim -fig 9 -nodes 128 -set quick
+//	slingshot-sim -fig 9 -nodes 512 -set full   # paper scale (hours)
+//	slingshot-sim -fig 14
+//	slingshot-sim -all                  # every figure at default scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to regenerate: 2,4,5,6,8,9,10,11,12,13,14")
+		all   = flag.Bool("all", false, "run every figure at default scale")
+		nodes = flag.Int("nodes", 0, "experiment node count (0 = figure default)")
+		iters = flag.Int("iters", 0, "max measurement iterations per point")
+		seed  = flag.Uint64("seed", 42, "experiment seed (runs are deterministic per seed)")
+		ppn   = flag.Int("ppn", 1, "aggressor processes per node / Fig.6 ranks per node")
+		set   = flag.String("set", "quick", "victim set for fig 9/10: quick|apps|full")
+		panel = flag.String("panel", "A", "fig 10 panel: A (allocations), B (high PPN), C (small)")
+	)
+	flag.Parse()
+
+	opt := harness.Options{Nodes: *nodes, MaxIters: *iters, Seed: *seed, PPN: *ppn}
+	vs, err := victimSet(*set)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	figs := []string{*fig}
+	if *all {
+		figs = []string{"2", "4", "5", "6", "8", "9", "10", "11", "12", "13", "14"}
+	}
+	if !*all && *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, f := range figs {
+		start := time.Now()
+		out, err := run(f, opt, vs, *panel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("=== Figure %s (wall %v) ===\n%s\n", f, time.Since(start).Round(time.Millisecond), out)
+	}
+}
+
+func victimSet(s string) (harness.VictimSet, error) {
+	switch s {
+	case "quick":
+		return harness.VictimsQuick, nil
+	case "apps":
+		return harness.VictimsApps, nil
+	case "full":
+		return harness.VictimsFull, nil
+	}
+	return 0, fmt.Errorf("slingshot-sim: unknown victim set %q", s)
+}
+
+func run(fig string, opt harness.Options, vs harness.VictimSet, panel string) (fmt.Stringer, error) {
+	switch fig {
+	case "2":
+		return harness.Fig2SwitchLatency(opt), nil
+	case "4":
+		return harness.Fig4Distance(opt), nil
+	case "5":
+		return harness.Fig5Stacks(opt), nil
+	case "6":
+		return harness.Fig6Bisection(opt), nil
+	case "8":
+		return harness.Fig8Tailbench(opt), nil
+	case "9":
+		return harness.Fig9Heatmap(opt, vs), nil
+	case "10":
+		switch panel {
+		case "B":
+			if opt.PPN <= 1 {
+				opt.PPN = 4 // the paper's 24 PPN scaled down
+			}
+		case "C":
+			if opt.Nodes == 0 {
+				opt.Nodes = 24
+			}
+		}
+		return harness.Fig10Distributions(opt, vs, panel), nil
+	case "11":
+		return harness.Fig11FullScale(opt), nil
+	case "12":
+		return harness.Fig12Bursty(opt, nil, nil, nil), nil
+	case "13":
+		return harness.Fig13TrafficClasses(opt), nil
+	case "14":
+		return harness.Fig14Bandwidth(opt), nil
+	}
+	return nil, fmt.Errorf("slingshot-sim: unknown figure %q", fig)
+}

@@ -1,0 +1,78 @@
+// Command topoinfo prints the structural properties of the Dragonfly
+// systems, validating the arithmetic of Fig. 3 and §II-G of the paper:
+// the largest buildable system (545 groups, 279 040 endpoints), and the
+// bisection / all-to-all peak bandwidths of Shandy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	system := flag.String("system", "all", "system to describe: shandy|malbec|crystal|max|all")
+	flag.Parse()
+
+	switch *system {
+	case "max":
+		printMax()
+	case "shandy":
+		printSystem("Shandy", topology.ShandyConfig())
+	case "malbec":
+		printSystem("Malbec", topology.MalbecConfig())
+	case "crystal":
+		printSystem("Crystal", topology.CrystalConfig())
+	case "all":
+		printMax()
+		printSystem("Shandy", topology.ShandyConfig())
+		printSystem("Malbec", topology.MalbecConfig())
+		printSystem("Crystal", topology.CrystalConfig())
+	default:
+		fmt.Fprintf(os.Stderr, "topoinfo: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+}
+
+func printMax() {
+	s := topology.MaxSystem()
+	fmt.Println("Largest 1-D Dragonfly from 64-port Rosetta switches (Fig. 3):")
+	fmt.Printf("  endpoints/switch:     %d\n", s.EndpointsPerSwitch)
+	fmt.Printf("  switches/group:       %d (%d local + %d global ports)\n",
+		s.SwitchesPerGroup, s.LocalPorts, s.GlobalPorts)
+	fmt.Printf("  nodes/group:          %d\n", s.NodesPerGroup)
+	fmt.Printf("  global links/group:   %d\n", s.GlobalLinksPer)
+	fmt.Printf("  groups:               %d\n", s.Groups)
+	fmt.Printf("  endpoints:            %d\n", s.Endpoints)
+	fmt.Printf("  addressable (511 gr): %d nodes\n\n", s.AddressableNodes)
+}
+
+func printSystem(name string, cfg topology.Config) {
+	d, err := topology.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topoinfo: %v\n", err)
+		os.Exit(1)
+	}
+	local, global := 0, 0
+	for _, l := range d.Links {
+		switch l.Kind {
+		case topology.LocalLink:
+			local++
+		case topology.GlobalLink:
+			global++
+		}
+	}
+	fmt.Printf("%s: %d nodes, %d switches, %d groups (%s groups)\n",
+		name, d.Nodes(), d.Switches(), cfg.Groups, cfg.Shape)
+	fmt.Printf("  local links:  %d\n", local)
+	fmt.Printf("  global links: %d (%d per group pair)\n", global, cfg.GlobalPerPair)
+	fmt.Printf("  bisection:    %d links crossing, peak %.1f Tb/s (%.1f TB/s)\n",
+		d.BisectionLinks(),
+		float64(d.BisectionPeakBits(topology.LinkBits))/1e12,
+		float64(d.BisectionPeakBits(topology.LinkBits))/8e12)
+	fmt.Printf("  alltoall:     peak %.1f Tb/s (%.1f TB/s)\n\n",
+		float64(d.AlltoallPeakBits(topology.LinkBits))/1e12,
+		float64(d.AlltoallPeakBits(topology.LinkBits))/8e12)
+}

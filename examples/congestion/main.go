@@ -1,0 +1,61 @@
+// Congestion study: the paper's headline experiment in miniature. A victim
+// job runs an 8-byte Allreduce while an aggressor job incasts 128 KiB
+// messages, first on a Slingshot system (per-pair hardware congestion
+// control), then on an Aries-style system (no endpoint congestion
+// control). Victims on Slingshot barely notice; on Aries the congestion
+// tree inflates their iterations by an order of magnitude (§III-A, Fig. 9).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+func main() {
+	const totalNodes = 48
+	for _, sys := range []harness.System{
+		harness.Shandy(totalNodes * 2),
+		harness.Crystal(totalNodes * 3 / 2),
+	} {
+		impact := measure(sys, totalNodes)
+		fmt.Printf("%-22s 8B allreduce congestion impact: %.2fx\n", sys.Name, impact)
+	}
+	fmt.Println("\n(the paper's Fig. 9: Aries up to 93x, Slingshot at most 1.3x)")
+}
+
+func measure(sys harness.System, totalNodes int) float64 {
+	net := fabric.New(topology.MustNew(sys.Topo), sys.Prof, 7)
+	victimNodes, aggrNodes := placement.Split(totalNodes, totalNodes/2, placement.Linear, nil)
+	victim := mpi.NewJob(net, victimNodes, mpi.JobOpts{Stack: mpi.MPI})
+
+	iso := run(net, victim, 8)
+
+	aggr := mpi.NewJob(net, aggrNodes, mpi.JobOpts{Stack: mpi.MPI})
+	a := workloads.StartIncast(aggr, workloads.AggressorMsgBytes, 2)
+	net.RunFor(300 * sim.Microsecond)
+	cong := run(net, victim, 8)
+	a.Stop()
+
+	return stats.CongestionImpact(iso, cong)
+}
+
+// run measures the mean of `iters` allreduce iterations in microseconds.
+func run(net *fabric.Network, j *mpi.Job, iters int) float64 {
+	s := stats.NewSample(iters)
+	for i := 0; i < iters; i++ {
+		start := net.Now()
+		fin := false
+		j.Allreduce(8, func(sim.Time) { fin = true })
+		net.Eng.RunWhile(func() bool { return !fin })
+		s.Add((net.Now() - start).Microseconds())
+	}
+	return s.Mean()
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a small Slingshot system, run a ping-pong and a
+// bandwidth sweep between two nodes in different Dragonfly groups, and
+// print the numbers — the "hello world" of the simulator.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	// A 4-group Dragonfly: 4 switches per group, 8 nodes per switch.
+	topo := topology.MustNew(topology.Config{
+		Groups:           4,
+		SwitchesPerGroup: 4,
+		NodesPerSwitch:   8,
+		GlobalPerPair:    2,
+	})
+	net := fabric.New(topo, fabric.SlingshotProfile(), 1)
+	fmt.Printf("built %q: %d nodes, %d switches, diameter <= 3 switch hops\n",
+		net.Prof.Name, topo.Nodes(), topo.Switches())
+
+	// An MPI job over two nodes in different groups.
+	job := mpi.NewJob(net, []topology.NodeID{0, topology.NodeID(topo.Nodes() - 1)},
+		mpi.JobOpts{Stack: mpi.MPI})
+
+	fmt.Println("\nping-pong RTT/2 (cross-group):")
+	for _, size := range []int64{8, 1024, 128 * 1024, 4 << 20} {
+		var med sim.Time
+		job.PingPong(0, 1, size, 10, func(rs []sim.Time) {
+			med = rs[len(rs)/2]
+		})
+		net.Eng.Run()
+		fmt.Printf("  %8dB  %v\n", size, med)
+	}
+
+	fmt.Println("\nstreaming bandwidth (8 messages in flight):")
+	for _, size := range []int64{1024, 128 * 1024, 4 << 20} {
+		n2 := fabric.New(topo, fabric.SlingshotProfile(), 2)
+		const iters = 32
+		done, posted := 0, 0
+		var finish sim.Time
+		var post func()
+		post = func() {
+			if posted >= iters {
+				return
+			}
+			posted++
+			n2.Send(0, topology.NodeID(topo.Nodes()-1), size,
+				fabric.SendOpts{OnDelivered: func(at sim.Time) {
+					done++
+					finish = at
+					post()
+				}})
+		}
+		for i := 0; i < 8; i++ {
+			post()
+		}
+		n2.Eng.RunWhile(func() bool { return done < iters })
+		gbps := float64(size*iters) * 8 / finish.Seconds() / 1e9
+		fmt.Printf("  %8dB  %6.2f Gb/s\n", size, gbps)
+	}
+}

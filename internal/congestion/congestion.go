@@ -1,0 +1,262 @@
+// Package congestion implements the endpoint congestion-control algorithms
+// compared in the paper (§II-D):
+//
+//   - Slingshot: hardware tracking of every in-flight packet between every
+//     pair of endpoints, with stiff, fast back-pressure applied only to the
+//     sources contributing to endpoint congestion. Contributing pairs are
+//     throttled hard (window collapse plus pacing); everyone else keeps
+//     full speed — this is the mechanism behind the paper's headline result
+//     that victims on Slingshot see at most ~1.3x slowdown where Aries
+//     victims see up to ~93x.
+//
+//   - ECN-like: a DCQCN-flavoured marking scheme whose control loop runs
+//     end-to-end (mark at switch -> echo at receiver -> rate cut at
+//     sender), representative of the "fragile, hard to tune" classical
+//     schemes the paper contrasts with (§II-D).
+//
+//   - None: no endpoint congestion control, the Aries baseline behaviour.
+//     Sources flood until link-level credits exhaust, forming congestion
+//     trees.
+//
+// One Controller instance lives in each NIC; it regulates, per destination
+// endpoint, how many bytes may be outstanding and how fast packets may be
+// injected.
+package congestion
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Kind selects the algorithm.
+type Kind int
+
+const (
+	None Kind = iota
+	Slingshot
+	ECNLike
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Slingshot:
+		return "slingshot"
+	case ECNLike:
+		return "ecn"
+	}
+	return "unknown"
+}
+
+// Params tunes a controller. Zero fields take defaults from DefaultParams.
+type Params struct {
+	Kind Kind
+	// InitialWindow is the per-destination-pair outstanding-byte budget on
+	// an uncongested path; it should cover the bandwidth-delay product.
+	InitialWindow int64
+	// MinWindow is the floor the window collapses to under back-pressure.
+	MinWindow int64
+	// MaxPaceGap bounds the injection pacing delay per pair.
+	MaxPaceGap sim.Time
+	// RecoveryQuiet is how long a pair must go without congestion signals
+	// before its window starts recovering.
+	RecoveryQuiet sim.Time
+	// EcnCutFactor is the multiplicative decrease applied per marked
+	// round-trip in ECN mode.
+	EcnCutFactor float64
+}
+
+// DefaultParams returns the calibrated parameters for a kind.
+func DefaultParams(kind Kind) Params {
+	p := Params{
+		Kind: kind,
+		// ~64 KiB covers the 100 Gb/s x ~3 us edge BDP several times over.
+		InitialWindow: 64 * 1024,
+		MinWindow:     4 * 1024, // one packet
+		MaxPaceGap:    500 * sim.Microsecond,
+		RecoveryQuiet: 10 * sim.Microsecond,
+		EcnCutFactor:  0.5,
+	}
+	if kind == None {
+		// Effectively unlimited: an Aries NIC keeps injecting as long as
+		// link-level credits let it.
+		p.InitialWindow = 1 << 40
+	}
+	return p
+}
+
+type pairState struct {
+	window      int64
+	outstanding int64
+	paceGap     sim.Time
+	nextSend    sim.Time
+	lastSignal  sim.Time
+	// ECN: one cut per congestion window / RTT.
+	lastCut sim.Time
+	// Slingshot: one pacing escalation per interval.
+	lastEscalate sim.Time
+	// Stats.
+	signals int64
+}
+
+// Controller regulates one NIC's injection, per destination pair.
+type Controller struct {
+	P     Params
+	pairs map[topology.NodeID]*pairState
+	// Stats.
+	TotalSignals int64
+	TotalBlocks  int64
+}
+
+// NewController returns a controller with the given parameters.
+func NewController(p Params) *Controller {
+	if p.InitialWindow == 0 {
+		p = DefaultParams(p.Kind)
+	}
+	return &Controller{P: p, pairs: make(map[topology.NodeID]*pairState)}
+}
+
+func (c *Controller) pair(dst topology.NodeID) *pairState {
+	ps := c.pairs[dst]
+	if ps == nil {
+		ps = &pairState{window: c.P.InitialWindow, lastSignal: -sim.Forever / 2, lastCut: -sim.Forever / 2}
+		c.pairs[dst] = ps
+	}
+	return ps
+}
+
+// CanSend reports whether a packet of the given size may be injected to
+// dst at time now. When it may not, retryAt is the pacing deadline to try
+// again, or zero if the sender must simply wait for an acknowledgement to
+// free window space.
+func (c *Controller) CanSend(dst topology.NodeID, bytes int64, now sim.Time) (ok bool, retryAt sim.Time) {
+	ps := c.pair(dst)
+	if now < ps.nextSend {
+		c.TotalBlocks++
+		return false, ps.nextSend
+	}
+	// Always allow at least one packet in flight, whatever the window, so
+	// progress is never completely stopped (the hardware paces, it does not
+	// halt).
+	if ps.outstanding > 0 && ps.outstanding+bytes > ps.window {
+		c.TotalBlocks++
+		return false, 0
+	}
+	return true, 0
+}
+
+// OnSend records an injection of bytes to dst.
+func (c *Controller) OnSend(dst topology.NodeID, bytes int64, now sim.Time) {
+	ps := c.pair(dst)
+	ps.outstanding += bytes
+	if ps.paceGap > 0 {
+		ps.nextSend = now + ps.paceGap
+	}
+}
+
+// OnAck records an end-to-end acknowledgement for bytes delivered to dst.
+// marked reports ECN marking observed along the path (ECN mode only).
+// It returns true if the ack unblocked window space (the NIC should retry
+// pending sends).
+func (c *Controller) OnAck(dst topology.NodeID, bytes int64, marked bool, now sim.Time) bool {
+	ps := c.pair(dst)
+	ps.outstanding -= bytes
+	if ps.outstanding < 0 {
+		ps.outstanding = 0
+	}
+	switch c.P.Kind {
+	case None:
+		// No reaction.
+	case Slingshot:
+		// Quiet period passed: fast additive recovery plus pacing decay.
+		if now-ps.lastSignal > c.P.RecoveryQuiet {
+			ps.window += bytes
+			if ps.window > c.P.InitialWindow {
+				ps.window = c.P.InitialWindow
+			}
+			ps.paceGap /= 2
+			if ps.paceGap < 100*sim.Nanosecond {
+				ps.paceGap = 0
+			}
+		}
+	case ECNLike:
+		if marked {
+			// At most one multiplicative cut per ~RTT-scale interval; the
+			// long reaction path is what makes classical ECN fragile under
+			// bursty incast.
+			if now-ps.lastCut > c.P.RecoveryQuiet {
+				ps.lastCut = now
+				ps.signals++
+				c.TotalSignals++
+				ps.window = int64(float64(ps.window) * c.P.EcnCutFactor)
+				if ps.window < c.P.MinWindow {
+					ps.window = c.P.MinWindow
+				}
+			}
+			ps.lastSignal = now
+		} else if now-ps.lastSignal > 4*c.P.RecoveryQuiet {
+			// Slow additive recovery, a fraction of the acked bytes.
+			ps.window += bytes / 8
+			if ps.window > c.P.InitialWindow {
+				ps.window = c.P.InitialWindow
+			}
+		}
+	}
+	return true
+}
+
+// OnSignal delivers a direct back-pressure notification from the fabric for
+// traffic to dst (Slingshot mode: the switch owning the congested endpoint
+// port identifies the contributing sources and throttles exactly those,
+// §II-D). severity in (0,1] scales the response.
+func (c *Controller) OnSignal(dst topology.NodeID, severity float64, now sim.Time) {
+	if c.P.Kind != Slingshot {
+		return
+	}
+	ps := c.pair(dst)
+	ps.lastSignal = now
+	ps.signals++
+	c.TotalSignals++
+	// Stiff and fast: collapse the window...
+	ps.window = c.P.MinWindow
+	// ...and escalate pacing multiplicatively while signals keep coming.
+	// Escalation is rate-limited (a burst of notifications from one queue
+	// sweep counts once).
+	const escalateEvery = 2 * sim.Microsecond
+	switch {
+	case ps.paceGap == 0:
+		ps.paceGap = sim.Time(float64(2*sim.Microsecond) * severity)
+		if ps.paceGap < 200*sim.Nanosecond {
+			ps.paceGap = 200 * sim.Nanosecond
+		}
+		ps.lastEscalate = now
+	case now-ps.lastEscalate >= escalateEvery:
+		ps.paceGap *= 2
+		ps.lastEscalate = now
+	}
+	if ps.paceGap > c.P.MaxPaceGap {
+		ps.paceGap = c.P.MaxPaceGap
+	}
+	if ps.nextSend < now+ps.paceGap {
+		ps.nextSend = now + ps.paceGap
+	}
+}
+
+// Outstanding returns the in-flight bytes to dst.
+func (c *Controller) Outstanding(dst topology.NodeID) int64 {
+	if ps := c.pairs[dst]; ps != nil {
+		return ps.outstanding
+	}
+	return 0
+}
+
+// Window returns the current window for dst.
+func (c *Controller) Window(dst topology.NodeID) int64 {
+	return c.pair(dst).window
+}
+
+// PaceGap returns the current pacing delay for dst (tests/inspection).
+func (c *Controller) PaceGap(dst topology.NodeID) sim.Time {
+	return c.pair(dst).paceGap
+}

@@ -1,0 +1,222 @@
+package congestion
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+const dst = topology.NodeID(7)
+
+func TestKindString(t *testing.T) {
+	if None.String() != "none" || Slingshot.String() != "slingshot" ||
+		ECNLike.String() != "ecn" || Kind(9).String() != "unknown" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestNoneUnlimited(t *testing.T) {
+	c := NewController(DefaultParams(None))
+	now := sim.Time(0)
+	// Send far more than any reasonable window; None never blocks.
+	for i := 0; i < 1000; i++ {
+		ok, _ := c.CanSend(dst, 4096, now)
+		if !ok {
+			t.Fatalf("None blocked at packet %d", i)
+		}
+		c.OnSend(dst, 4096, now)
+	}
+	// Signals are ignored.
+	c.OnSignal(dst, 1, now)
+	if ok, _ := c.CanSend(dst, 4096, now); !ok {
+		t.Error("None reacted to a signal")
+	}
+}
+
+func TestWindowLimits(t *testing.T) {
+	p := DefaultParams(Slingshot)
+	c := NewController(p)
+	now := sim.Time(0)
+	sentBytes := int64(0)
+	for {
+		ok, _ := c.CanSend(dst, 4096, now)
+		if !ok {
+			break
+		}
+		c.OnSend(dst, 4096, now)
+		sentBytes += 4096
+		if sentBytes > 10*p.InitialWindow {
+			t.Fatal("window never closed")
+		}
+	}
+	// Outstanding is within one packet of the initial window.
+	if got := c.Outstanding(dst); got < p.InitialWindow-4096 || got > p.InitialWindow+4096 {
+		t.Errorf("outstanding = %d, window %d", got, p.InitialWindow)
+	}
+	// Acks free space.
+	c.OnAck(dst, 4096, false, now)
+	if ok, _ := c.CanSend(dst, 4096, now); !ok {
+		t.Error("ack did not free window space")
+	}
+}
+
+func TestAlwaysOnePacketInFlight(t *testing.T) {
+	c := NewController(DefaultParams(Slingshot))
+	now := sim.Time(0)
+	c.OnSignal(dst, 1, now) // collapse window to MinWindow = 4096
+	now += c.PaceGap(dst)
+	// A packet bigger than the collapsed window must still be sendable
+	// when nothing is outstanding.
+	ok, _ := c.CanSend(dst, 8192, now)
+	if !ok {
+		t.Error("zero-outstanding send blocked by window")
+	}
+}
+
+func TestSlingshotSignalCollapsesWindow(t *testing.T) {
+	p := DefaultParams(Slingshot)
+	c := NewController(p)
+	now := sim.Time(0)
+	if c.Window(dst) != p.InitialWindow {
+		t.Fatalf("initial window = %d", c.Window(dst))
+	}
+	c.OnSignal(dst, 1, now)
+	if c.Window(dst) != p.MinWindow {
+		t.Errorf("window after signal = %d, want %d", c.Window(dst), p.MinWindow)
+	}
+	if c.PaceGap(dst) == 0 {
+		t.Error("no pacing after signal")
+	}
+	// Pacing blocks immediate sends.
+	if ok, retry := c.CanSend(dst, 4096, now); ok || retry <= now {
+		t.Errorf("pacing not enforced: ok=%v retry=%v", ok, retry)
+	}
+}
+
+func TestSlingshotPacingEscalates(t *testing.T) {
+	c := NewController(DefaultParams(Slingshot))
+	now := sim.Time(0)
+	c.OnSignal(dst, 1, now)
+	g1 := c.PaceGap(dst)
+	// Bursts within the rate-limit window count once.
+	c.OnSignal(dst, 1, now+sim.Microsecond)
+	if c.PaceGap(dst) != g1 {
+		t.Errorf("pacing escalated inside the rate-limit window")
+	}
+	c.OnSignal(dst, 1, now+3*sim.Microsecond)
+	g2 := c.PaceGap(dst)
+	if g2 <= g1 {
+		t.Errorf("pacing did not escalate: %v -> %v", g1, g2)
+	}
+	// Capped.
+	for i := 0; i < 40; i++ {
+		c.OnSignal(dst, 1, now+sim.Time(3*i)*sim.Microsecond)
+	}
+	if c.PaceGap(dst) > DefaultParams(Slingshot).MaxPaceGap {
+		t.Errorf("pace gap exceeded cap: %v", c.PaceGap(dst))
+	}
+}
+
+func TestSlingshotRecovery(t *testing.T) {
+	p := DefaultParams(Slingshot)
+	c := NewController(p)
+	now := sim.Time(0)
+	c.OnSignal(dst, 1, now)
+	// Acks inside the quiet period do not recover.
+	c.OnAck(dst, 4096, false, now+sim.Microsecond)
+	if c.Window(dst) != p.MinWindow {
+		t.Error("recovered during quiet period")
+	}
+	// After the quiet period, acks recover the window and relax pacing.
+	later := now + p.RecoveryQuiet + sim.Microsecond
+	for i := 0; i < 100; i++ {
+		c.OnAck(dst, 4096, false, later+sim.Time(i)*sim.Microsecond)
+	}
+	if c.Window(dst) != p.InitialWindow {
+		t.Errorf("window did not recover: %d", c.Window(dst))
+	}
+	if c.PaceGap(dst) != 0 {
+		t.Errorf("pacing did not decay: %v", c.PaceGap(dst))
+	}
+}
+
+func TestSlingshotPerPairIsolation(t *testing.T) {
+	// The defining Slingshot property (§II-D): throttling one destination
+	// pair leaves other pairs at full speed.
+	c := NewController(DefaultParams(Slingshot))
+	other := topology.NodeID(9)
+	now := sim.Time(0)
+	c.OnSignal(dst, 1, now)
+	if c.Window(dst) == c.Window(other) {
+		t.Error("signal leaked to unrelated pair")
+	}
+	if ok, _ := c.CanSend(other, 4096, now); !ok {
+		t.Error("unrelated pair blocked")
+	}
+}
+
+func TestECNCutOnMarkedAck(t *testing.T) {
+	p := DefaultParams(ECNLike)
+	c := NewController(p)
+	now := sim.Time(0)
+	w0 := c.Window(dst)
+	c.OnAck(dst, 4096, true, now)
+	w1 := c.Window(dst)
+	if w1 != int64(float64(w0)*p.EcnCutFactor) {
+		t.Errorf("window after mark = %d, want %d", w1, int64(float64(w0)*p.EcnCutFactor))
+	}
+	// A second mark immediately after does not double-cut (once per RTT).
+	c.OnAck(dst, 4096, true, now+sim.Microsecond)
+	if c.Window(dst) != w1 {
+		t.Errorf("double cut within RTT: %d", c.Window(dst))
+	}
+	// Cuts bottom out at MinWindow.
+	for i := 0; i < 20; i++ {
+		c.OnAck(dst, 4096, true, now+sim.Time(i+1)*p.RecoveryQuiet*2)
+	}
+	if c.Window(dst) != p.MinWindow {
+		t.Errorf("window floor = %d, want %d", c.Window(dst), p.MinWindow)
+	}
+}
+
+func TestECNSlowRecovery(t *testing.T) {
+	p := DefaultParams(ECNLike)
+	c := NewController(p)
+	now := sim.Time(0)
+	c.OnAck(dst, 4096, true, now)
+	cut := c.Window(dst)
+	// Recovery is slower than Slingshot's: after the same number of acks
+	// in quiet, ECN regains only a fraction.
+	later := now + 5*p.RecoveryQuiet
+	for i := 0; i < 10; i++ {
+		c.OnAck(dst, 4096, false, later+sim.Time(i)*sim.Microsecond)
+	}
+	if c.Window(dst) <= cut {
+		t.Error("no recovery at all")
+	}
+	if c.Window(dst) >= p.InitialWindow {
+		t.Error("ECN recovered implausibly fast")
+	}
+	// ECN ignores direct signals (it has no such channel).
+	w := c.Window(dst)
+	c.OnSignal(dst, 1, later)
+	if c.Window(dst) != w {
+		t.Error("ECN reacted to a direct signal")
+	}
+}
+
+func TestOutstandingNeverNegative(t *testing.T) {
+	c := NewController(DefaultParams(Slingshot))
+	c.OnAck(dst, 4096, false, 0) // ack with nothing outstanding
+	if got := c.Outstanding(dst); got != 0 {
+		t.Errorf("outstanding = %d", got)
+	}
+}
+
+func TestZeroParamsGetDefaults(t *testing.T) {
+	c := NewController(Params{Kind: Slingshot})
+	if c.P.InitialWindow == 0 || c.P.MinWindow == 0 {
+		t.Error("defaults not applied")
+	}
+}

@@ -1,0 +1,122 @@
+package ethernet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoCEHeaderStack(t *testing.T) {
+	// §II-G: Ethernet 26 + IPv4 20 + UDP 8 + IB 14 + CRC 4 = 62 bytes.
+	if RoCEHeaders != 62 {
+		t.Fatalf("RoCEHeaders = %d, want 62", RoCEHeaders)
+	}
+}
+
+func TestWireBytesStandard(t *testing.T) {
+	// 4 KiB payload carries 62 bytes of headers plus preamble + IPG.
+	if got := WireBytes(4096, Standard); got != 4096+62+8+12 {
+		t.Errorf("WireBytes(4096, std) = %d", got)
+	}
+	// Tiny payloads pad to the 64-byte minimum frame.
+	if got := WireBytes(0, Standard); got != 64+8+12 {
+		t.Errorf("WireBytes(0, std) = %d", got)
+	}
+	if got := WireBytes(1, Standard); got != 64+8+12 {
+		t.Errorf("WireBytes(1, std) = %d", got)
+	}
+	// Negative clamps to zero payload; oversize clamps to MaxPayload.
+	if WireBytes(-5, Standard) != WireBytes(0, Standard) {
+		t.Error("negative payload not clamped")
+	}
+	if WireBytes(10000, Standard) != WireBytes(MaxPayload, Standard) {
+		t.Error("oversize payload not clamped")
+	}
+}
+
+func TestWireBytesEnhanced(t *testing.T) {
+	// Enhanced mode drops the Ethernet header and the IPG, and the minimum
+	// frame is 32 bytes, so small packets are much cheaper.
+	std := WireBytes(8, Standard)
+	enh := WireBytes(8, Enhanced)
+	if enh >= std {
+		t.Errorf("enhanced (%d) not cheaper than standard (%d)", enh, std)
+	}
+	// 8 payload + (62-18) = 52 frame bytes, no preamble/IPG.
+	if enh != 52 {
+		t.Errorf("WireBytes(8, enhanced) = %d, want 52", enh)
+	}
+	if got := WireBytes(0, Enhanced); got != 44 {
+		t.Errorf("WireBytes(0, enhanced) = %d, want 44 (header-only)", got)
+	}
+}
+
+func TestWireBytesMonotone(t *testing.T) {
+	f := func(a, b uint16, em bool) bool {
+		m := Standard
+		if em {
+			m = Enhanced
+		}
+		x, y := int(a)%5000, int(b)%5000
+		if x > y {
+			x, y = y, x
+		}
+		return WireBytes(x, m) <= WireBytes(y, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackets(t *testing.T) {
+	cases := []struct {
+		size int64
+		cap  int
+		want int
+	}{
+		{0, 0, 1},
+		{1, 0, 1},
+		{4096, 0, 1},
+		{4097, 0, 2},
+		{128 * 1024, 0, 32},
+		{4 * 1024 * 1024, 0, 1024},
+		{100, 10, 10},
+		{101, 10, 11},
+	}
+	for _, c := range cases {
+		if got := Packets(c.size, c.cap); got != c.want {
+			t.Errorf("Packets(%d, %d) = %d, want %d", c.size, c.cap, got, c.want)
+		}
+	}
+}
+
+func TestPacketsCoverSize(t *testing.T) {
+	f := func(raw uint32) bool {
+		size := int64(raw % 10_000_000)
+		n := Packets(size, 0)
+		return int64(n)*MaxPayload >= size && (size == 0 || int64(n-1)*MaxPayload < size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	// 4 KiB RoCEv2 packets are ~98.2% efficient on standard Ethernet —
+	// this is why Fig. 4's 4 MiB bandwidth tops out around 97-98 Gb/s.
+	e := Efficiency(4096, Standard)
+	if e < 0.975 || e > 0.99 {
+		t.Errorf("4KiB efficiency = %.4f", e)
+	}
+	if Efficiency(0, Standard) != 0 {
+		t.Error("zero payload efficiency should be 0")
+	}
+	if Efficiency(8, Enhanced) <= Efficiency(8, Standard) {
+		t.Error("enhanced mode should improve small-frame efficiency")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Standard.String() != "standard-ethernet" || Enhanced.String() != "slingshot-enhanced" {
+		t.Error("mode strings wrong")
+	}
+}

@@ -1,0 +1,332 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/congestion"
+	"repro/internal/ethernet"
+	"repro/internal/phy"
+	"repro/internal/qos"
+	"repro/internal/rosetta"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Taps are optional measurement hooks.
+type Taps struct {
+	// OnPacketDelivered fires for every data packet that reaches its
+	// destination NIC.
+	OnPacketDelivered func(p *Packet, at sim.Time)
+}
+
+// Network is a running simulated system: topology + switches + NICs under
+// one discrete-event engine.
+type Network struct {
+	Topo *topology.Dragonfly
+	Eng  *sim.Engine
+	Prof Profile
+	QoS  *qos.Config
+	Taps Taps
+
+	rng      *sim.RNG
+	switches []*Switch
+	nics     []*NIC
+	msgID    int64
+
+	// Stats.
+	PacketsDelivered int64
+	BytesDelivered   int64
+	Signals          int64 // Slingshot back-pressure notifications emitted
+	Overdrafts       int64 // deadlock-escape credit grants (should be ~0)
+	LLRRetries       int64 // link-level retransmissions (FrameBER > 0)
+	FramesLost       int64 // frames lost on links without LLR
+	E2ERetries       int64 // NIC end-to-end retransmissions
+}
+
+// New builds a network over the given topology with the given profile.
+// seed makes the run reproducible.
+func New(topo *topology.Dragonfly, prof Profile, seed uint64) *Network {
+	qcfg := prof.QoS
+	if qcfg == nil {
+		qcfg = qos.DefaultConfig()
+	}
+	if err := qcfg.Validate(); err != nil {
+		panic(fmt.Sprintf("fabric: bad QoS config: %v", err))
+	}
+	n := &Network{
+		Topo: topo,
+		Eng:  sim.NewEngine(),
+		Prof: prof,
+		QoS:  qcfg,
+		rng:  sim.NewRNG(seed),
+	}
+	n.build()
+	return n
+}
+
+func (n *Network) build() {
+	topo := n.Topo
+	prof := &n.Prof
+	n.switches = make([]*Switch, topo.Switches())
+	for i := range n.switches {
+		rng := n.rng.Split()
+		n.switches[i] = &Switch{
+			net:     n,
+			ID:      topology.SwitchID(i),
+			rng:     rng,
+			lat:     rosetta.NewLatencyModel(rng.Split()),
+			portsTo: make(map[topology.SwitchID][]*outPort),
+			edge:    make(map[topology.NodeID]*outPort),
+		}
+	}
+	n.nics = make([]*NIC, topo.Nodes())
+	for i := range n.nics {
+		n.nics[i] = &NIC{
+			net:        n,
+			ID:         topology.NodeID(i),
+			cc:         congestion.NewController(prof.CC),
+			queues:     make(map[topology.NodeID][]*Message),
+			nextDataAt: make(map[topology.NodeID]sim.Time),
+		}
+	}
+
+	newSched := func() *qos.PortScheduler {
+		return qos.NewPortScheduler(n.QoS, prof.fabricBits())
+	}
+	newPhy := func() (*phy.Link, *sim.RNG) {
+		var rng *sim.RNG
+		if prof.FrameBER > 0 {
+			rng = n.rng.Split()
+		}
+		return phy.NewLink(nil, 0, prof.LLR), rng
+	}
+
+	for _, l := range topo.Links {
+		switch l.Kind {
+		case topology.EdgeLink:
+			sw := n.switches[l.A]
+			nic := n.nics[l.Node]
+			// Switch -> NIC.
+			down := &outPort{
+				net: n, sched: newSched(), bits: prof.EdgeBits,
+				prop: phy.EdgeDelay(), mode: prof.EdgeMode,
+				owner: sw, peerNIC: nic, edge: true,
+			}
+			down.phy, down.rng = newPhy()
+			sw.edge[l.Node] = down
+			// NIC -> switch (the injection port), credited against the
+			// switch's input buffer.
+			up := &outPort{
+				net: n, sched: newSched(), bits: prof.EdgeBits,
+				prop: phy.EdgeDelay(), mode: prof.EdgeMode,
+				ownerNIC: nic, peerSw: sw, credits: prof.InputBufferBytes,
+			}
+			up.phy, up.rng = newPhy()
+			nic.inj = up
+		case topology.LocalLink, topology.GlobalLink:
+			a, b := n.switches[l.A], n.switches[l.B]
+			prop := phy.CopperDelay()
+			global := false
+			if l.Kind == topology.GlobalLink {
+				prop = phy.OpticalDelay()
+				global = true
+			}
+			ab := &outPort{
+				net: n, sched: newSched(), bits: prof.fabricBits(),
+				prop: prop, mode: prof.FabricMode,
+				owner: a, peerSw: b, credits: prof.InputBufferBytes, global: global,
+			}
+			ab.phy, ab.rng = newPhy()
+			ba := &outPort{
+				net: n, sched: newSched(), bits: prof.fabricBits(),
+				prop: prop, mode: prof.FabricMode,
+				owner: b, peerSw: a, credits: prof.InputBufferBytes, global: global,
+			}
+			ba.phy, ba.rng = newPhy()
+			a.portsTo[l.B] = append(a.portsTo[l.B], ab)
+			b.portsTo[l.A] = append(b.portsTo[l.A], ba)
+		}
+	}
+}
+
+// SendOpts configures one message.
+type SendOpts struct {
+	// Class is the traffic-class index into the QoS config.
+	Class int
+	// NoRendezvous forces the eager protocol regardless of size.
+	NoRendezvous bool
+	// Tag is an arbitrary caller label (e.g. job ID) readable from taps.
+	Tag int64
+	// OnDelivered fires at the destination when the last byte lands.
+	OnDelivered func(at sim.Time)
+	// OnAcked fires at the source when the last end-to-end ack returns.
+	OnAcked func(at sim.Time)
+}
+
+// Send submits a message transfer of `bytes` from src to dst. It returns
+// the message handle for inspection; completion is signalled via the
+// callbacks in opts.
+func (n *Network) Send(src, dst topology.NodeID, bytes int64, opts SendOpts) *Message {
+	if int(src) < 0 || int(src) >= len(n.nics) || int(dst) < 0 || int(dst) >= len(n.nics) {
+		panic(fmt.Sprintf("fabric: Send %d->%d outside topology", src, dst))
+	}
+	class := opts.Class
+	if class < 0 || class >= len(n.QoS.Classes) {
+		class = 0
+	}
+	n.msgID++
+	m := &Message{
+		ID:          n.msgID,
+		Src:         src,
+		Dst:         dst,
+		Bytes:       bytes,
+		Class:       class,
+		OnDelivered: opts.OnDelivered,
+		OnAcked:     opts.OnAcked,
+		numPackets:  ethernet.Packets(bytes, n.Prof.cell()),
+	}
+	if n.Prof.RendezvousThreshold > 0 && bytes > n.Prof.RendezvousThreshold && !opts.NoRendezvous {
+		m.Rendezvous = true
+	}
+	m.Tag = opts.Tag
+	n.nics[src].submit(m)
+	return m
+}
+
+// NIC returns the NIC runtime for a node (read-only use by tests).
+func (n *Network) NIC(id topology.NodeID) *NIC { return n.nics[id] }
+
+// CC returns a node's congestion controller (tests/inspection).
+func (n *Network) CC(id topology.NodeID) *congestion.Controller { return n.nics[id].cc }
+
+// choosePath implements §II-C adaptive routing at the source switch: score
+// up to four minimal plus non-minimal candidate paths by the total depth of
+// the request queues along them, biased towards minimal paths, and pick the
+// cheapest.
+func (n *Network) choosePath(s *Switch, p *Packet) topology.Path {
+	src := s.ID
+	dst := n.Topo.SwitchOf(p.Msg.Dst)
+	if src == dst {
+		return topology.Path{src}
+	}
+	minPaths := n.Topo.MinimalPaths(src, dst, 4)
+	if !n.Prof.AdaptiveRouting {
+		return minPaths[0]
+	}
+	cands := minPaths
+	nmax := 4 - len(minPaths)
+	if nmax < 2 {
+		nmax = 2
+	}
+	nonMin := n.Topo.NonMinimalPaths(src, dst, s.rng, nmax)
+
+	bias := n.Prof.MinimalBias
+	if bias < 1 {
+		bias = 1
+	}
+	if cb := n.QoS.Classes[p.Class].MinimalBias; cb > 1 {
+		bias *= cb
+	}
+
+	noise := func() float64 {
+		if n.Prof.RouteNoise <= 0 {
+			return 1
+		}
+		return 1 + n.Prof.RouteNoise*s.rng.Float64()
+	}
+	best := cands[0]
+	bestCost := n.pathCost(cands[0], noise())
+	for _, c := range cands[1:] {
+		if cost := n.pathCost(c, noise()); cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+	for _, c := range nonMin {
+		if cost := n.pathCost(c, bias*noise()); cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+	return best
+}
+
+// pathCost estimates a path's congestion: the queued bytes on each egress
+// port along it (the local one is exact; remote ones arrive via the credit
+// and ack piggyback channels of §II-C) plus a per-hop serialization charge,
+// multiplied by the non-minimal penalty factor.
+func (n *Network) pathCost(path topology.Path, penalty float64) float64 {
+	const hopCharge = 4096 // one packet's worth per hop
+	cost := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		sw := n.switches[path[i]]
+		ports := sw.portsTo[path[i+1]]
+		least := ports[0].queuedBytes()
+		for _, o := range ports[1:] {
+			if q := o.queuedBytes(); q < least {
+				least = q
+			}
+		}
+		cost += float64(least) + hopCharge
+	}
+	return cost * penalty
+}
+
+// revLatency approximates the reverse-path delay of acknowledgements,
+// grants and congestion notifications: they ride dedicated crossbars
+// (§II-A) and do not contend with data, so the delay is propagation plus a
+// small per-switch forwarding cost.
+func (n *Network) revLatency(path topology.Path) sim.Time {
+	const perSwitch = 150 * sim.Nanosecond
+	lat := 2*phy.EdgeDelay() + 100*sim.Nanosecond
+	if path == nil {
+		return lat + perSwitch
+	}
+	lat += sim.Time(len(path)) * perSwitch
+	for i := 0; i+1 < len(path); i++ {
+		if n.Topo.GroupOf(path[i]) != n.Topo.GroupOf(path[i+1]) {
+			lat += phy.OpticalDelay()
+		} else {
+			lat += phy.CopperDelay()
+		}
+	}
+	return lat
+}
+
+// DegradeLinkLanes removes one SerDes lane from every (parallel) link
+// between two adjacent switches, in both directions — the §II-F lane
+// degrade that tolerates hard lane failures by running ports at reduced
+// width. It reports whether any usable lane remains.
+func (n *Network) DegradeLinkLanes(a, b topology.SwitchID) bool {
+	ok := false
+	for _, o := range n.switches[a].portsTo[b] {
+		if o.phy.DegradeLane() {
+			ok = true
+		}
+	}
+	for _, o := range n.switches[b].portsTo[a] {
+		o.phy.DegradeLane()
+	}
+	return ok
+}
+
+// RestoreLinkLanes returns the links between two switches to full width.
+func (n *Network) RestoreLinkLanes(a, b topology.SwitchID) {
+	for _, o := range n.switches[a].portsTo[b] {
+		o.phy.RestoreLanes()
+	}
+	for _, o := range n.switches[b].portsTo[a] {
+		o.phy.RestoreLanes()
+	}
+}
+
+// QueuedAtEdge reports the egress-queue depth at the switch port feeding a
+// NIC — the quantity endpoint congestion control watches.
+func (n *Network) QueuedAtEdge(node topology.NodeID) int64 {
+	sw := n.switches[n.Topo.SwitchOf(node)]
+	return sw.edge[node].queuedBytes()
+}
+
+// RunFor advances the simulation by d.
+func (n *Network) RunFor(d sim.Time) { n.Eng.RunUntil(n.Eng.Now() + d) }
+
+// Now returns the current simulated time.
+func (n *Network) Now() sim.Time { return n.Eng.Now() }

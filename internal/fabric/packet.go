@@ -1,0 +1,62 @@
+package fabric
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Packet is one RoCEv2 packet in flight. Packets are segmented from
+// Messages at the source NIC and reassembled (counted) at the destination.
+type Packet struct {
+	Msg     *Message
+	Seq     int
+	Payload int
+	Class   int
+	// Path is the switch-level route chosen at the source switch; hop
+	// indexes the next entry to visit.
+	Path topology.Path
+	hop  int
+	// inPort is the upstream port whose input-buffer credit this packet
+	// holds; the credit returns when the packet departs the current switch.
+	inPort *outPort
+	// ctrl marks protocol packets (RTS of the rendezvous handshake).
+	ctrl      bool
+	ecnMarked bool
+	sentAt    sim.Time
+}
+
+// Message is an application-level transfer between two endpoints.
+type Message struct {
+	ID    int64
+	Src   topology.NodeID
+	Dst   topology.NodeID
+	Bytes int64
+	Class int
+	// Tag is an arbitrary caller label (e.g. job ID) readable from taps.
+	Tag int64
+
+	// Rendezvous transfers exchange an RTS/CTS handshake before data.
+	Rendezvous bool
+
+	// OnDelivered fires at the destination when the last data packet
+	// arrives. OnAcked fires at the source when the last end-to-end ack
+	// returns (Put + flush semantics).
+	OnDelivered func(at sim.Time)
+	OnAcked     func(at sim.Time)
+
+	// Injection state (owned by the source NIC).
+	numPackets int
+	nextSeq    int
+	hostReady  sim.Time // host per-message overhead satisfied
+	dataReady  bool     // rendezvous handshake completed (or not needed)
+	rtsSent    bool
+	// Completion state.
+	delivered int
+	acked     int
+
+	SubmittedAt sim.Time
+	DeliveredAt sim.Time
+}
+
+// Done reports whether all data packets have been delivered.
+func (m *Message) Done() bool { return m.delivered >= m.numPackets }

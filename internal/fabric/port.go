@@ -1,0 +1,229 @@
+package fabric
+
+import (
+	"repro/internal/ethernet"
+	"repro/internal/phy"
+	"repro/internal/qos"
+	"repro/internal/sim"
+)
+
+// bufBytes is the input-buffer occupancy of a packet: payload plus the
+// RoCEv2 header stack. Buffers and credits are accounted in these units on
+// every link regardless of the link's framing mode.
+func bufBytes(p *Packet) int64 {
+	return int64(p.Payload + ethernet.RoCEHeaders)
+}
+
+// outPort is one transmit direction of a link: from a switch (or a NIC's
+// injection side) towards a peer switch or NIC. It owns the egress queue
+// (a per-traffic-class DRR scheduler), the busy/serialization state, and
+// the credit count representing free space in the peer's input buffer.
+type outPort struct {
+	net   *Network
+	sched *qos.PortScheduler
+	bits  int64
+	prop  sim.Time
+	mode  ethernet.Mode
+
+	owner    *Switch // transmitting switch; nil for a NIC injection port
+	ownerNIC *NIC    // transmitting NIC; nil for switch ports
+	peerSw   *Switch // nil when the port faces a NIC
+	peerNIC  *NIC
+
+	edge   bool // switch->NIC port: endpoint congestion is detected here
+	global bool // inter-group optical link
+
+	// phy models the physical link: lane degrade reduces the effective
+	// bandwidth, and FrameBER>0 injects post-FEC frame errors that LLR
+	// retries (or loses, triggering the NIC end-to-end retry, §II-F).
+	phy *phy.Link
+	rng *sim.RNG
+
+	busy    bool
+	credits int64
+
+	retryEv *sim.Event // pending cap-retry pump
+	// blockedSince tracks how long the head of the queue has been credit
+	// starved, feeding the deadlock-escape watchdog.
+	blockedSince sim.Time
+	watchdogEv   *sim.Event
+
+	// Stats.
+	TxPackets int64
+	TxBytes   int64
+}
+
+// creditUnlimited is the credit count used when the receiver can always
+// accept (a NIC's receive buffer).
+const creditUnlimited = int64(1) << 42
+
+// watchdogDelay is how long a port may be fully credit-starved before the
+// deadlock-escape overdraft kicks in. Real networks break such cycles with
+// virtual channels; the overdraft is our equivalent and fires only under
+// pathological saturation.
+const watchdogDelay = 500 * sim.Microsecond
+
+// pump advances the port: if idle, pick the next packet the scheduler and
+// credits allow and start transmitting it.
+func (o *outPort) pump() {
+	if o.busy || o.sched.Len() == 0 {
+		return
+	}
+	now := o.net.Eng.Now()
+	max := o.credits
+	if o.peerNIC != nil {
+		max = creditUnlimited
+	}
+	v, _, _, ok, retry := o.sched.Dequeue(now, clampInt(max))
+	if !ok {
+		if retry > 0 && o.retryEv == nil {
+			o.retryEv = o.net.Eng.Schedule(retry, func() {
+				o.retryEv = nil
+				o.pump()
+			})
+		}
+		if retry == 0 && o.peerSw != nil && o.credits < o.sched.TotalQueuedBytes() {
+			o.armWatchdog(now)
+		}
+		return
+	}
+	o.disarmWatchdog()
+	p := v.(*Packet)
+	o.transmit(p, now)
+}
+
+func clampInt(v int64) int {
+	const maxInt = int64(^uint(0) >> 1)
+	if v < 0 {
+		return 0
+	}
+	if v > maxInt {
+		return int(maxInt)
+	}
+	return int(v)
+}
+
+// effBits is the port's current usable bandwidth: the configured rate
+// capped by the physical link's surviving lanes.
+func (o *outPort) effBits() int64 {
+	if o.phy != nil {
+		if pb := o.phy.Bandwidth(); pb < o.bits {
+			return pb
+		}
+	}
+	return o.bits
+}
+
+// transmit puts p on the wire.
+func (o *outPort) transmit(p *Packet, now sim.Time) {
+	o.busy = true
+	size := bufBytes(p)
+	if o.peerSw != nil {
+		o.credits -= size
+	}
+	o.TxPackets++
+	o.TxBytes += size
+
+	// Departing the current element frees the upstream input-buffer space
+	// this packet was holding; the credit travels one reverse hop.
+	if ip := p.inPort; ip != nil {
+		o.net.Eng.After(ip.prop, func() {
+			ip.credits += size
+			ip.pump()
+		})
+	}
+	p.inPort = o
+
+	wire := ethernet.WireBytes(p.Payload, o.mode)
+	ser := sim.SerializationTime(int64(wire), o.effBits())
+
+	// Frame-error injection (§II-F): LLR retries add wire time; without
+	// LLR the frame is lost and the source NIC's end-to-end retry recovers
+	// it after a timeout.
+	occupancy := ser
+	lost := false
+	if ber := o.net.Prof.FrameBER; ber > 0 && o.rng != nil {
+		for o.rng.Float64() < ber {
+			if !o.net.Prof.LLR {
+				lost = true
+				o.net.FramesLost++
+				break
+			}
+			o.net.LLRRetries++
+			occupancy += o.phy.LLRDelay + ser
+		}
+	}
+
+	o.net.Eng.After(occupancy, func() {
+		o.busy = false
+		o.pump()
+		if o.ownerNIC != nil {
+			o.ownerNIC.pump()
+		}
+	})
+	if lost {
+		o.loseFrame(p, size, occupancy)
+		return
+	}
+	arrival := occupancy + o.prop + phy.FECLatency
+	switch {
+	case o.peerSw != nil:
+		sw := o.peerSw
+		o.net.Eng.After(arrival, func() { sw.arrive(p) })
+	default:
+		nic := o.peerNIC
+		o.net.Eng.After(arrival+o.net.Prof.NICLatency, func() { nic.deliver(p) })
+	}
+}
+
+// loseFrame handles an unrecovered link error: the reserved downstream
+// buffer space returns, and the source NIC retransmits the packet after
+// its end-to-end retry timeout (§II-F: "the SLINGSHOT NIC provides
+// end-to-end retry to protect against packet loss").
+func (o *outPort) loseFrame(p *Packet, size int64, after sim.Time) {
+	if o.peerSw != nil {
+		o.net.Eng.After(after+o.prop, func() {
+			o.credits += size
+			o.pump()
+		})
+	}
+	src := o.net.nics[p.Msg.Src]
+	timeout := o.net.Prof.RetryTimeout
+	if timeout <= 0 {
+		timeout = 50 * sim.Microsecond
+	}
+	o.net.E2ERetries++
+	o.net.Eng.After(after+timeout, func() { src.retransmit(p) })
+}
+
+// armWatchdog schedules the deadlock-escape overdraft.
+func (o *outPort) armWatchdog(now sim.Time) {
+	if o.watchdogEv != nil {
+		return
+	}
+	o.blockedSince = now
+	o.watchdogEv = o.net.Eng.Schedule(now+watchdogDelay, func() {
+		o.watchdogEv = nil
+		if o.busy || o.sched.Len() == 0 {
+			return
+		}
+		// Still starved: grant an overdraft credit for one packet so the
+		// fabric cannot wedge (virtual-channel escape equivalent).
+		if o.peerSw != nil && o.credits < int64(ethernet.MaxPayload+ethernet.RoCEHeaders) {
+			o.net.Overdrafts++
+			o.credits += int64(ethernet.MaxPayload + ethernet.RoCEHeaders)
+		}
+		o.pump()
+	})
+}
+
+func (o *outPort) disarmWatchdog() {
+	if o.watchdogEv != nil {
+		o.net.Eng.Cancel(o.watchdogEv)
+		o.watchdogEv = nil
+	}
+}
+
+// queuedBytes is the congestion estimate adaptive routing reads (§II-C:
+// "the total depth of the request queues of each output port").
+func (o *outPort) queuedBytes() int64 { return o.sched.TotalQueuedBytes() }

@@ -1,0 +1,120 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// §II-F reliability features: FEC+LLR on fabric links, NIC end-to-end
+// retry, and lane degrade.
+
+func TestLLRRecoversAllFrames(t *testing.T) {
+	prof := noJitter(SlingshotProfile())
+	prof.FrameBER = 0.02
+	prof.LLR = true
+	n := quietNet(t, prof)
+	done := 0
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		n.Send(topology.NodeID(i%8), topology.NodeID(56+i%8), 64*1024,
+			SendOpts{OnDelivered: func(sim.Time) { done++ }})
+	}
+	n.Eng.Run()
+	if done != msgs {
+		t.Fatalf("delivered %d/%d with LLR", done, msgs)
+	}
+	if n.LLRRetries == 0 {
+		t.Error("no LLR retries at 2% frame error rate")
+	}
+	if n.FramesLost != 0 || n.E2ERetries != 0 {
+		t.Errorf("LLR mode lost frames: lost=%d e2e=%d", n.FramesLost, n.E2ERetries)
+	}
+}
+
+func TestEndToEndRetryWithoutLLR(t *testing.T) {
+	prof := noJitter(SlingshotProfile())
+	prof.FrameBER = 0.02
+	prof.LLR = false
+	prof.RetryTimeout = 20 * sim.Microsecond
+	n := quietNet(t, prof)
+	done := 0
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		n.Send(topology.NodeID(i%8), topology.NodeID(56+i%8), 64*1024,
+			SendOpts{OnDelivered: func(sim.Time) { done++ }})
+	}
+	n.Eng.Run()
+	if done != msgs {
+		t.Fatalf("delivered %d/%d despite end-to-end retry", done, msgs)
+	}
+	if n.FramesLost == 0 || n.E2ERetries == 0 {
+		t.Errorf("expected losses + retries: lost=%d e2e=%d", n.FramesLost, n.E2ERetries)
+	}
+	if n.E2ERetries < n.FramesLost {
+		t.Errorf("every lost frame needs a retry: lost=%d e2e=%d", n.FramesLost, n.E2ERetries)
+	}
+}
+
+func TestErrorsAddLatency(t *testing.T) {
+	clean := noJitter(SlingshotProfile())
+	n1 := quietNet(t, clean)
+	l1 := sendAndWait(t, n1, 0, 63, 1024*1024)
+
+	noisy := clean
+	noisy.FrameBER = 0.05
+	n2 := quietNet(t, noisy)
+	l2 := sendAndWait(t, n2, 0, 63, 1024*1024)
+	if l2 <= l1 {
+		t.Errorf("5%% frame errors did not slow transfer: %v vs %v", l1, l2)
+	}
+}
+
+func TestLaneDegradeSlowsLink(t *testing.T) {
+	prof := noJitter(SlingshotProfile())
+	n := quietNet(t, prof)
+	// Degrade every link out of switch 0 to 1 lane (3 degrades).
+	for _, nb := range n.Topo.Neighbors(0) {
+		for i := 0; i < 3; i++ {
+			if !n.DegradeLinkLanes(0, nb) {
+				t.Fatal("link died before 3 degrades")
+			}
+		}
+	}
+	slow := sendAndWait(t, n, 0, 63, 1024*1024)
+
+	n2 := quietNet(t, prof)
+	fast := sendAndWait(t, n2, 0, 63, 1024*1024)
+	if slow <= fast {
+		t.Errorf("lane degrade had no effect: %v vs %v", fast, slow)
+	}
+	// Restore brings it back.
+	for _, nb := range n.Topo.Neighbors(0) {
+		n.RestoreLinkLanes(0, nb)
+	}
+	restored := sendAndWait(t, n, 0, 62, 1024*1024)
+	if restored >= slow {
+		t.Errorf("restore had no effect: %v vs %v", slow, restored)
+	}
+}
+
+func TestDeterministicReplayWithErrors(t *testing.T) {
+	run := func() (sim.Time, int64, int64) {
+		prof := noJitter(SlingshotProfile())
+		prof.FrameBER = 0.01
+		n := quietNet(t, prof)
+		done := 0
+		for i := 0; i < 20; i++ {
+			n.Send(topology.NodeID(i), topology.NodeID(40+i), 128*1024,
+				SendOpts{OnDelivered: func(sim.Time) { done++ }})
+		}
+		n.Eng.Run()
+		return n.Now(), n.LLRRetries, n.Eng.Steps()
+	}
+	t1, r1, s1 := run()
+	t2, r2, s2 := run()
+	if t1 != t2 || r1 != r2 || s1 != s2 {
+		t.Errorf("replay diverged: (%v,%d,%d) vs (%v,%d,%d)", t1, r1, s1, t2, r2, s2)
+	}
+}

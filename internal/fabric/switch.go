@@ -1,0 +1,113 @@
+package fabric
+
+import (
+	"repro/internal/congestion"
+	"repro/internal/rosetta"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Switch is the runtime state of one Rosetta (or Aries) switch.
+type Switch struct {
+	net *Network
+	ID  topology.SwitchID
+	rng *sim.RNG
+	lat *rosetta.LatencyModel
+	// portsTo holds the (possibly parallel) egress ports towards each
+	// adjacent switch.
+	portsTo map[topology.SwitchID][]*outPort
+	// edge holds the egress port towards each locally attached NIC.
+	edge map[topology.NodeID]*outPort
+	// inPort/outPort sampling for the traversal latency model: we don't
+	// track physical port numbers per packet, so traversals sample a
+	// uniformly random (in, out) pair — matching the measured Fig. 2
+	// distribution over many flows.
+}
+
+// arrive receives a packet from an upstream link. The input-buffer space
+// was reserved by the upstream credit before transmission; processing
+// (route lookup, VOQ request/grant, crossbar) takes one traversal latency.
+func (s *Switch) arrive(p *Packet) {
+	var lat sim.Time
+	if s.net.Prof.SwitchJitter {
+		lat = s.lat.Traversal(s.rng.Intn(rosetta.Ports), s.rng.Intn(rosetta.Ports))
+	} else {
+		lat = rosetta.MeanTraversal(0, 2) // deterministic mean (~350 ns)
+	}
+	s.net.Eng.After(lat, func() { s.forward(p) })
+}
+
+// forward routes the packet to its egress queue.
+func (s *Switch) forward(p *Packet) {
+	if p.Path == nil {
+		// This is the packet's source switch: adaptive routing chooses the
+		// full path here (§II-C: the source switch estimates the load of up
+		// to four minimal and non-minimal paths).
+		p.Path = s.net.choosePath(s, p)
+		p.hop = 0
+	}
+	var o *outPort
+	if p.hop == len(p.Path)-1 {
+		// Final switch: egress to the destination NIC.
+		o = s.edge[p.Msg.Dst]
+	} else {
+		next := p.Path[p.hop+1]
+		p.hop++
+		o = s.bestPortTo(next)
+	}
+	s.enqueue(o, p)
+}
+
+// bestPortTo picks the least-loaded parallel link towards an adjacent
+// switch.
+func (s *Switch) bestPortTo(next topology.SwitchID) *outPort {
+	ports := s.portsTo[next]
+	best := ports[0]
+	for _, o := range ports[1:] {
+		if o.queuedBytes() < best.queuedBytes() {
+			best = o
+		}
+	}
+	return best
+}
+
+// enqueue places the packet in the egress scheduler and runs the
+// congestion-detection hooks.
+func (s *Switch) enqueue(o *outPort, p *Packet) {
+	o.sched.Enqueue(p.Class, int(bufBytes(p)), p)
+
+	prof := &s.net.Prof
+	switch prof.CC.Kind {
+	case congestion.Slingshot:
+		if o.edge && !p.ctrl {
+			q := o.queuedBytes()
+			if q > prof.EndpointThreshold {
+				s.signalSource(p, q)
+			}
+		}
+	case congestion.ECNLike:
+		if o.queuedBytes() > prof.EcnThreshold {
+			p.ecnMarked = true
+		}
+	}
+	o.pump()
+}
+
+// signalSource sends the per-pair back-pressure notification to the source
+// of a packet contributing to endpoint congestion (§II-D). The notification
+// rides the ack crossbars back to the source NIC; we model its latency as
+// the reverse-path delay of the packet.
+func (s *Switch) signalSource(p *Packet, queued int64) {
+	sev := float64(queued) / float64(4*s.net.Prof.EndpointThreshold)
+	if sev > 1 {
+		sev = 1
+	}
+	src, dst := p.Msg.Src, p.Msg.Dst
+	delay := s.net.revLatency(p.Path)
+	nic := s.net.nics[src]
+	s.net.Signals++
+	s.net.Eng.After(delay, func() {
+		nic.cc.OnSignal(dst, sev, s.net.Eng.Now())
+		nic.pump()
+	})
+}

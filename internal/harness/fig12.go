@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mpi"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Fig12Cell is one element of a Fig. 12 heatmap: the congestion impact of a
+// bursty incast aggressor on a 128 B MPI_Alltoall victim.
+type Fig12Cell struct {
+	MsgBytes  int64
+	BurstSize int
+	GapUS     int64 // gap between bursts, microseconds
+	Impact    float64
+}
+
+// Fig12Result reproduces Fig. 12: one heatmap per aggressor message size,
+// over burst size x burst gap, on Malbec with an interleaved 50/50 split.
+type Fig12Result struct {
+	Cells []Fig12Cell
+}
+
+// Paper grids (log scale 1 .. 1e6). The two largest burst sizes behave
+// identically to persistent congestion, so reduced-scale runs use a
+// truncated axis by default.
+var (
+	Fig12MsgSizes   = []int64{16 * 1024, 128 * 1024, 1 << 20}
+	Fig12BurstSizes = []int{1, 100, 10000, 1000000}
+	Fig12GapsUS     = []int64{1, 100, 10000, 1000000}
+)
+
+// Fig12Bursty runs the grid. With opt.MaxIters small this is the heaviest
+// experiment after Fig. 9; tests use 2x2 sub-grids.
+func Fig12Bursty(opt Options, msgSizes []int64, bursts []int, gapsUS []int64) Fig12Result {
+	opt = opt.withDefaults(32, 6, 16)
+	if msgSizes == nil {
+		msgSizes = Fig12MsgSizes
+	}
+	if bursts == nil {
+		bursts = Fig12BurstSizes
+	}
+	if gapsUS == nil {
+		gapsUS = Fig12GapsUS
+	}
+	sys := Malbec(opt.Nodes * 2)
+	victim := BenchVictim(workloads.AlltoallBench(128))
+	var res Fig12Result
+	seed := opt.Seed
+	for _, msg := range msgSizes {
+		for _, burst := range bursts {
+			for _, gap := range gapsUS {
+				seed++
+				net := sys.build(seed)
+				rng := sim.NewRNG(seed ^ 0xbeef)
+				vNodes, aNodes := placement.Split(opt.Nodes, opt.Nodes/2,
+					placement.Interleaved, nil)
+				vjob := mpi.NewJob(net, vNodes, mpi.JobOpts{Stack: mpi.MPI, Tag: 1})
+				iso := measureVictim(vjob, victim, rng.Split(), opt.MinIters, opt.MaxIters)
+
+				ajob := mpi.NewJob(net, aNodes, mpi.JobOpts{Stack: mpi.MPI, Tag: 2})
+				agg := workloads.StartBurstyIncast(ajob, msg, burst,
+					sim.Time(gap)*sim.Microsecond)
+				net.RunFor(200 * sim.Microsecond)
+				cong := measureVictim(vjob, victim, rng.Split(), opt.MinIters, opt.MaxIters)
+				agg.Stop()
+
+				res.Cells = append(res.Cells, Fig12Cell{
+					MsgBytes: msg, BurstSize: burst, GapUS: gap,
+					Impact: stats.CongestionImpact(iso.Mean(), cong.Mean()),
+				})
+			}
+		}
+	}
+	return res
+}
+
+// MaxImpact returns the worst impact per aggressor message size (the paper
+// reports ~1.1 at 16 KiB, ~1.21 at 128 KiB, 1.00 at 1 MiB).
+func (r Fig12Result) MaxImpact() map[int64]float64 {
+	out := map[int64]float64{}
+	for _, c := range r.Cells {
+		if c.Impact > out[c.MsgBytes] {
+			out[c.MsgBytes] = c.Impact
+		}
+	}
+	return out
+}
+
+func (r Fig12Result) String() string {
+	var b strings.Builder
+	rows := make([][]string, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			sizeName(c.MsgBytes),
+			fmt.Sprintf("%d", c.BurstSize),
+			fmt.Sprintf("%d", c.GapUS),
+			f2(c.Impact),
+		})
+	}
+	fmt.Fprint(&b, table([]string{"aggr msg", "burst size", "gap (us)", "impact"}, rows))
+	return b.String()
+}

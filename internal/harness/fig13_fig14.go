@@ -1,0 +1,282 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/placement"
+	"repro/internal/qos"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// qosTwoClasses builds the Fig. 13 configuration: a high-priority,
+// low-bandwidth class for latency-critical collectives and a default bulk
+// class — §II-E's worked example.
+func qosTwoClasses() *qos.Config {
+	return &qos.Config{Classes: []qos.Class{
+		{Name: "bulk", DSCP: 0, Priority: 0, MinShare: 0.5, MinimalBias: 1},
+		{Name: "latency", DSCP: 10, Priority: 5, MinShare: 0.1, MinimalBias: 2},
+	}}
+}
+
+// qosMinBandwidth builds the Fig. 14 configuration: TC1 with a guaranteed
+// 80% minimum, TC2 with 10%.
+func qosMinBandwidth() *qos.Config {
+	return &qos.Config{Classes: []qos.Class{
+		{Name: "tc1", DSCP: 0, MinShare: 0.8, MinimalBias: 1},
+		{Name: "tc2", DSCP: 20, MinShare: 0.1, MinimalBias: 1},
+	}}
+}
+
+// Fig13Point is one allreduce iteration in the Fig. 13 time series.
+type Fig13Point struct {
+	At     sim.Time
+	Impact float64
+}
+
+// Fig13Result reproduces Fig. 13: the congestion impact over time of an
+// 8 B MPI_Allreduce co-executed with a 256 KiB MPI_Alltoall on a
+// bandwidth-tapered Malbec, with the two jobs in the same or in separate
+// traffic classes.
+type Fig13Result struct {
+	SameTC     []Fig13Point
+	SeparateTC []Fig13Point
+	// Steady-state impacts after the aggressor starts.
+	SameImpact, SeparateImpact float64
+}
+
+// Fig13TrafficClasses runs both configurations.
+func Fig13TrafficClasses(opt Options) Fig13Result {
+	opt = opt.withDefaults(32, 0, 0)
+	var res Fig13Result
+	res.SameTC, res.SameImpact = fig13Run(opt, false)
+	res.SeparateTC, res.SeparateImpact = fig13Run(opt, true)
+	return res
+}
+
+func fig13Run(opt Options, separate bool) ([]Fig13Point, float64) {
+	// The experiment spans the whole (scaled) machine so the two
+	// interleaved jobs genuinely share fabric links.
+	sys := Malbec(opt.Nodes)
+	prof := sys.Prof
+	prof.Taper = 0.25 // the paper tapers Malbec to 25% to force interference
+	prof.QoS = qosTwoClasses()
+	latClass := 0 // same TC: both jobs in bulk
+	if separate {
+		latClass = 1
+	}
+	net := fabric.New(topology.MustNew(sys.Topo), prof, opt.Seed)
+	vNodes, aNodes := placement.Split(opt.Nodes, opt.Nodes/2, placement.Interleaved, nil)
+	vjob := mpi.NewJob(net, vNodes, mpi.JobOpts{Stack: mpi.MPI, Class: latClass, Tag: 1})
+	ajob := mpi.NewJob(net, aNodes, mpi.JobOpts{Stack: mpi.MPI, Class: 0, Tag: 2})
+
+	// The alltoall job starts ~0.4 ms into the test (as in the paper).
+	const aggrStart = 400 * sim.Microsecond
+	var agg *workloads.Aggressor
+	net.Eng.Schedule(aggrStart, func() {
+		agg = workloads.StartAlltoall(ajob, 256*1024)
+	})
+
+	// Run the allreduce continuously, recording iteration durations.
+	const horizon = 3 * sim.Millisecond
+	var pts []Fig13Point
+	baseline := stats.NewSample(64)
+	after := stats.NewSample(256)
+	var durs []struct {
+		at  sim.Time
+		dur sim.Time
+	}
+	for net.Now() < horizon {
+		start := net.Now()
+		fin := false
+		vjob.Allreduce(8, func(sim.Time) { fin = true })
+		net.Eng.RunWhile(func() bool { return !fin })
+		if !fin {
+			break
+		}
+		d := net.Now() - start
+		durs = append(durs, struct {
+			at  sim.Time
+			dur sim.Time
+		}{net.Now(), d})
+		if net.Now() < aggrStart {
+			baseline.Add(d.Microseconds())
+		} else if net.Now() > aggrStart+200*sim.Microsecond {
+			after.Add(d.Microseconds())
+		}
+	}
+	if agg != nil {
+		agg.Stop()
+	}
+	base := baseline.Mean()
+	for _, d := range durs {
+		pts = append(pts, Fig13Point{At: d.at, Impact: d.dur.Microseconds() / base})
+	}
+	return pts, after.Mean() / base
+}
+
+func (r Fig13Result) String() string {
+	return table(
+		[]string{"configuration", "steady-state congestion impact"},
+		[][]string{
+			{"same traffic class", f2(r.SameImpact)},
+			{"separate traffic classes", f2(r.SeparateImpact)},
+		},
+	)
+}
+
+// Fig14Series is one job's bandwidth-over-time trace.
+type Fig14Series struct {
+	Job     string
+	Bucket  sim.Time
+	GbsNode []float64 // per-node Gb/s per time bucket
+}
+
+// Fig14Result reproduces Fig. 14: two bisection-bandwidth jobs on a
+// tapered system, either sharing TC1 or split across TC1 (min 80%) and
+// TC2 (min 10%).
+type Fig14Result struct {
+	SameTC     []Fig14Series
+	SeparateTC []Fig14Series
+}
+
+// Fig14Bandwidth runs both configurations.
+func Fig14Bandwidth(opt Options) Fig14Result {
+	opt = opt.withDefaults(32, 0, 0)
+	return Fig14Result{
+		SameTC:     fig14Run(opt, false),
+		SeparateTC: fig14Run(opt, true),
+	}
+}
+
+func fig14Run(opt Options, separate bool) []Fig14Series {
+	// Span the whole machine (see fig13Run).
+	sys := Malbec(opt.Nodes)
+	prof := sys.Prof
+	prof.Taper = 0.25
+	prof.QoS = qosMinBandwidth()
+	net := fabric.New(topology.MustNew(sys.Topo), prof, opt.Seed)
+
+	half := opt.Nodes / 2
+	j1Nodes, j2Nodes := placement.Split(opt.Nodes, half, placement.Interleaved, nil)
+	class2 := 0
+	if separate {
+		class2 = 1
+	}
+
+	const (
+		bucket   = 100 * sim.Microsecond
+		buckets  = 40
+		j2Start  = 900 * sim.Microsecond // paper: job 2 starts at 0.9 ms
+		j1End    = 2500 * sim.Microsecond
+		msgBytes = 64 * 1024
+		window   = 8
+	)
+	perJob := [2][]float64{}
+	perJob[0] = make([]float64, buckets)
+	perJob[1] = make([]float64, buckets)
+	net.Taps.OnPacketDelivered = func(p *fabric.Packet, at sim.Time) {
+		b := int(at / bucket)
+		if b < 0 || b >= buckets {
+			return
+		}
+		tag := p.Msg.Tag
+		if tag == 1 || tag == 2 {
+			perJob[tag-1][b] += float64(p.Payload)
+		}
+	}
+
+	// A "bisection bandwidth test": node i streams to its partner in the
+	// other half of the job, in both directions, keeping `window` messages
+	// outstanding per direction, until the job's end time.
+	startJob := func(nodes []topology.NodeID, class int, tag int64, from, until sim.Time) {
+		j := mpi.NewJob(net, nodes, mpi.JobOpts{Stack: mpi.MPI, Class: class, Tag: tag})
+		n := j.Size()
+		net.Eng.Schedule(from, func() {
+			for r := 0; r < n; r++ {
+				partner := (r + n/2) % n
+				var post func()
+				r := r
+				post = func() {
+					if net.Now() >= until {
+						return
+					}
+					j.Put(r, partner, msgBytes, func(sim.Time) { post() })
+				}
+				for w := 0; w < window; w++ {
+					post()
+				}
+			}
+		})
+	}
+	startJob(j1Nodes, 0, 1, 0, j1End)
+	startJob(j2Nodes, class2, 2, j2Start, sim.Time(buckets)*bucket)
+
+	net.RunFor(sim.Time(buckets) * bucket)
+
+	mk := func(i int, name string, nodes int) Fig14Series {
+		s := Fig14Series{Job: name, Bucket: bucket}
+		for _, bytes := range perJob[i] {
+			gbs := bytes * 8 / bucket.Seconds() / 1e9 / float64(nodes)
+			s.GbsNode = append(s.GbsNode, gbs)
+		}
+		return s
+	}
+	return []Fig14Series{
+		mk(0, "job1", len(j1Nodes)),
+		mk(1, "job2", len(j2Nodes)),
+	}
+}
+
+// shareDuringOverlap returns each job's mean bandwidth share while both
+// jobs run (buckets 12..22 with the default timing).
+func shareDuringOverlap(series []Fig14Series) (j1, j2 float64) {
+	sum := func(s Fig14Series, lo, hi int) float64 {
+		t := 0.0
+		for i := lo; i < hi && i < len(s.GbsNode); i++ {
+			t += s.GbsNode[i]
+		}
+		return t
+	}
+	a := sum(series[0], 12, 22)
+	b := sum(series[1], 12, 22)
+	if a+b == 0 {
+		return 0, 0
+	}
+	return a / (a + b), b / (a + b)
+}
+
+// OverlapShares reports the bandwidth split while both jobs are active,
+// for each configuration.
+func (r Fig14Result) OverlapShares() (same [2]float64, separate [2]float64) {
+	s1, s2 := shareDuringOverlap(r.SameTC)
+	same = [2]float64{s1, s2}
+	p1, p2 := shareDuringOverlap(r.SeparateTC)
+	separate = [2]float64{p1, p2}
+	return
+}
+
+func (r Fig14Result) String() string {
+	var b strings.Builder
+	write := func(name string, series []Fig14Series) {
+		fmt.Fprintf(&b, "%s:\n", name)
+		for _, s := range series {
+			fmt.Fprintf(&b, "  %s Gb/s/node:", s.Job)
+			for _, v := range s.GbsNode {
+				fmt.Fprintf(&b, " %5.1f", v)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	write("same TC", r.SameTC)
+	write("separate TCs (min 80% / min 10%)", r.SeparateTC)
+	same, sep := r.OverlapShares()
+	fmt.Fprintf(&b, "overlap share same TC: %.2f/%.2f, separate: %.2f/%.2f\n",
+		same[0], same[1], sep[0], sep[1])
+	return b.String()
+}

@@ -1,0 +1,233 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Fig2Result is the Fig. 2 switch-latency distribution for RoCE traffic:
+// the latency difference between 2-hop and 1-hop transfers.
+type Fig2Result struct {
+	Samples *stats.Sample // nanoseconds
+}
+
+// Fig2SwitchLatency measures the Rosetta traversal latency exactly as the
+// paper does: the difference between 2-hop (two switches, same group) and
+// 1-hop (same switch) path latencies for 8 B RoCE messages on a quiet
+// system.
+func Fig2SwitchLatency(opt Options) Fig2Result {
+	opt = opt.withDefaults(64, 200, 2000)
+	sys := Shandy(opt.Nodes)
+	net := sys.build(opt.Seed)
+	nps := sys.Topo.NodesPerSwitch
+
+	oneWay := func(src, dst topology.NodeID) sim.Time {
+		start := net.Now()
+		var done sim.Time
+		net.Send(src, dst, 8, fabric.SendOpts{OnDelivered: func(at sim.Time) { done = at }})
+		net.Eng.RunWhile(func() bool { return done == 0 })
+		return done - start
+	}
+
+	// 1-hop baseline: nodes sharing a switch.
+	base := stats.NewSample(opt.MaxIters)
+	for i := 0; i < opt.MaxIters; i++ {
+		base.Add(oneWay(0, 1).Nanoseconds())
+	}
+	med := base.Median()
+
+	// 2-hop samples: nodes on two switches of the same group.
+	out := stats.NewSample(opt.MaxIters)
+	for i := 0; i < opt.MaxIters; i++ {
+		l := oneWay(0, topology.NodeID(nps)).Nanoseconds()
+		out.Add(l - med)
+	}
+	return Fig2Result{Samples: out}
+}
+
+func (r Fig2Result) String() string {
+	s := r.Samples
+	return table(
+		[]string{"metric", "value (ns)"},
+		[][]string{
+			{"mean", f1(s.Mean())},
+			{"median", f1(s.Median())},
+			{"p1", f1(s.Percentile(1))},
+			{"p99", f1(s.Percentile(99))},
+			{"min", f1(s.Min())},
+			{"max", f1(s.Max())},
+		},
+	)
+}
+
+// Fig4Row is one (distance, size) cell of Fig. 4: the latency boxplot and
+// the streaming bandwidth.
+type Fig4Row struct {
+	Distance string
+	Size     int64
+	Latency  stats.BoxStats // microseconds
+	GBits    float64        // streaming bandwidth, Gb/s
+}
+
+// Fig4Result reproduces Fig. 4: latency and bandwidth for node distances
+// (same switch / different switches / different groups) across message
+// sizes, on an isolated system.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Fig4Sizes are the paper's four message sizes.
+var Fig4Sizes = []int64{8, 1024, 128 * 1024, 4 * 1024 * 1024}
+
+// Fig4Distance runs the Fig. 4 grid.
+func Fig4Distance(opt Options) Fig4Result {
+	opt = opt.withDefaults(64, 20, 60)
+	sys := Shandy(opt.Nodes)
+	nps := sys.Topo.NodesPerSwitch
+	npg := nps * sys.Topo.SwitchesPerGroup
+	var res Fig4Result
+	dists := []struct {
+		name string
+		dst  int
+	}{
+		{"same switch", 1},
+		{"different switches", nps},
+		{"different groups", npg},
+	}
+	for _, d := range dists {
+		for _, size := range Fig4Sizes {
+			// Fresh network per point keeps points independent.
+			net := sys.build(opt.Seed)
+			lat := stats.NewSample(opt.MaxIters)
+			for i := 0; i < opt.MaxIters; i++ {
+				start := net.Now()
+				var done sim.Time
+				net.Send(0, topology.NodeID(d.dst), size,
+					fabric.SendOpts{OnDelivered: func(at sim.Time) { done = at }})
+				net.Eng.RunWhile(func() bool { return done == 0 })
+				lat.Add((done - start).Microseconds())
+			}
+			gbits := streamBandwidth(sys, opt.Seed, topology.NodeID(d.dst), size)
+			res.Rows = append(res.Rows, Fig4Row{
+				Distance: d.name, Size: size, Latency: lat.Box(), GBits: gbits,
+			})
+		}
+	}
+	return res
+}
+
+// streamBandwidth measures pipelined point-to-point bandwidth with a
+// window of outstanding messages, as a bandwidth benchmark does.
+func streamBandwidth(sys System, seed uint64, dst topology.NodeID, size int64) float64 {
+	net := sys.build(seed + 1)
+	const window = 8
+	iters := 64
+	if size >= 1<<20 {
+		iters = 12
+	}
+	done, posted := 0, 0
+	var finish sim.Time
+	var post func()
+	post = func() {
+		if posted >= iters {
+			return
+		}
+		posted++
+		net.Send(0, dst, size, fabric.SendOpts{OnDelivered: func(at sim.Time) {
+			done++
+			finish = at
+			post()
+		}})
+	}
+	for i := 0; i < window && i < iters; i++ {
+		post()
+	}
+	net.Eng.RunWhile(func() bool { return done < iters })
+	if finish == 0 {
+		return 0
+	}
+	return float64(size*int64(iters)) * 8 / finish.Seconds() / 1e9
+}
+
+func (r Fig4Result) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Distance, sizeName(row.Size),
+			f2(row.Latency.S), f2(row.Latency.Q1), f2(row.Latency.Median),
+			f2(row.Latency.Q3), f2(row.Latency.L), f2(row.GBits),
+		})
+	}
+	return table(
+		[]string{"distance", "size", "S(us)", "Q1", "median", "Q3", "L", "Gb/s"},
+		rows,
+	)
+}
+
+func sizeName(s int64) string {
+	switch {
+	case s >= 1<<20:
+		return fmt.Sprintf("%dMiB", s>>20)
+	case s >= 1024:
+		return fmt.Sprintf("%dKiB", s>>10)
+	default:
+		return fmt.Sprintf("%dB", s)
+	}
+}
+
+// Fig5Point is one (stack, size) measurement of Fig. 5.
+type Fig5Point struct {
+	Stack mpi.Stack
+	Size  int64
+	RTT2  sim.Time // half round-trip
+}
+
+// Fig5Result reproduces Fig. 5: RTT/2 across software stacks and sizes.
+type Fig5Result struct {
+	Points []Fig5Point
+}
+
+// Fig5Sizes spans 8 B to 16 MiB in decade-ish steps like the paper's
+// log-scale x axis.
+var Fig5Sizes = []int64{8, 64, 512, 1024, 4096, 32 * 1024, 256 * 1024, 2 << 20, 16 << 20}
+
+// Fig5Stacks runs the Fig. 5 grid between two nodes in different groups.
+func Fig5Stacks(opt Options) Fig5Result {
+	opt = opt.withDefaults(64, 3, 10)
+	sys := Shandy(opt.Nodes)
+	npg := sys.Topo.NodesPerSwitch * sys.Topo.SwitchesPerGroup
+	var res Fig5Result
+	for _, st := range mpi.Stacks() {
+		for _, size := range Fig5Sizes {
+			net := sys.build(opt.Seed)
+			j := mpi.NewJob(net, []topology.NodeID{0, topology.NodeID(npg)},
+				mpi.JobOpts{Stack: st})
+			var rtts []sim.Time
+			j.PingPong(0, 1, size, opt.MaxIters, func(rs []sim.Time) { rtts = rs })
+			net.Eng.Run()
+			s := stats.NewSample(len(rtts))
+			for _, r := range rtts {
+				s.Add(float64(r))
+			}
+			res.Points = append(res.Points, Fig5Point{
+				Stack: st, Size: size, RTT2: sim.Time(s.Median()),
+			})
+		}
+	}
+	return res
+}
+
+func (r Fig5Result) String() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Stack.String(), sizeName(p.Size), f2(p.RTT2.Microseconds()),
+		})
+	}
+	return table([]string{"stack", "size", "RTT/2 (us)"}, rows)
+}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Fig6Point is one measured series point of Fig. 6.
+type Fig6Point struct {
+	Series  string
+	Size    int64
+	PPN     int
+	TBits   float64 // aggregate bandwidth, Tb/s
+	PeakFrc float64 // fraction of the theoretical peak
+}
+
+// Fig6Result reproduces Fig. 6: bisection and MPI_Alltoall aggregate
+// bandwidth versus message size, against the theoretical peaks derived
+// from the topology (§II-G).
+type Fig6Result struct {
+	BisectionPeakTBits float64
+	AlltoallPeakTBits  float64
+	Points             []Fig6Point
+}
+
+// Fig6Sizes are the paper's x-axis sizes (8 B ... 128 KiB).
+var Fig6Sizes = []int64{8, 32, 128, 512, 2048, 8192, 32 * 1024, 128 * 1024}
+
+// Fig6Bisection measures both series. PPN follows opt.PPN for the alltoall
+// series (the paper shows 16 and 24; reduced-scale runs use smaller
+// values since ranks multiply event counts).
+func Fig6Bisection(opt Options) Fig6Result {
+	opt = opt.withDefaults(64, 0, 0)
+	sys := Shandy(opt.Nodes)
+	topo := topology.MustNew(sys.Topo)
+	res := Fig6Result{
+		BisectionPeakTBits: float64(topo.BisectionPeakBits(topology.LinkBits)) / 1e12,
+		AlltoallPeakTBits:  float64(topo.AlltoallPeakBits(topology.LinkBits)) / 1e12,
+	}
+	n := topo.Nodes()
+	for _, size := range Fig6Sizes {
+		tb := measureBisection(sys, opt.Seed, n, size)
+		res.Points = append(res.Points, Fig6Point{
+			Series: "bisection", Size: size, PPN: 1, TBits: tb,
+			PeakFrc: tb / res.BisectionPeakTBits,
+		})
+	}
+	for _, size := range Fig6Sizes {
+		tb := measureAlltoall(sys, opt.Seed, n, opt.PPN, size)
+		res.Points = append(res.Points, Fig6Point{
+			Series: "alltoall", Size: size, PPN: opt.PPN, TBits: tb,
+			PeakFrc: tb / res.AlltoallPeakTBits,
+		})
+	}
+	return res
+}
+
+// measureBisection pairs every node with its opposite across the group
+// bisection and streams messages both ways, reporting steady-state
+// aggregate bandwidth.
+func measureBisection(sys System, seed uint64, n int, size int64) float64 {
+	net := sys.build(seed)
+	const window = 8
+	running := true
+	for i := 0; i < n; i++ {
+		partner := topology.NodeID((i + n/2) % n)
+		src := topology.NodeID(i)
+		var post func()
+		post = func() {
+			if !running {
+				return
+			}
+			net.Send(src, partner, size, fabric.SendOpts{NoRendezvous: size <= 4096,
+				OnDelivered: func(sim.Time) { post() }})
+		}
+		for w := 0; w < window; w++ {
+			post()
+		}
+	}
+	// Warm up, then measure over a fixed window.
+	warm := 100 * sim.Microsecond
+	meas := 300 * sim.Microsecond
+	net.RunFor(warm)
+	startBytes := net.BytesDelivered
+	net.RunFor(meas)
+	running = false
+	return float64(net.BytesDelivered-startBytes) * 8 / meas.Seconds() / 1e12
+}
+
+// measureAlltoall runs back-to-back MPI_Alltoalls over all nodes (with
+// PPN ranks per node) and reports aggregate delivered bandwidth.
+func measureAlltoall(sys System, seed uint64, n, ppn int, size int64) float64 {
+	net := sys.build(seed)
+	job := mpi.NewJob(net, nodeRange(n), mpi.JobOpts{PPN: ppn, Stack: mpi.MPI})
+	running := true
+	var round func()
+	round = func() {
+		if !running {
+			return
+		}
+		job.Alltoall(size, func(sim.Time) { round() })
+	}
+	round()
+	warm := 100 * sim.Microsecond
+	meas := 400 * sim.Microsecond
+	net.RunFor(warm)
+	startBytes := net.BytesDelivered
+	net.RunFor(meas)
+	running = false
+	return float64(net.BytesDelivered-startBytes) * 8 / meas.Seconds() / 1e12
+}
+
+func (r Fig6Result) String() string {
+	rows := make([][]string, 0, len(r.Points)+2)
+	rows = append(rows,
+		[]string{"theoretical bisection", "-", "-", fmt.Sprintf("%.2f", r.BisectionPeakTBits), "1.00"},
+		[]string{"theoretical alltoall", "-", "-", fmt.Sprintf("%.2f", r.AlltoallPeakTBits), "1.00"},
+	)
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Series, sizeName(p.Size), fmt.Sprintf("%d", p.PPN),
+			fmt.Sprintf("%.3f", p.TBits), f2(p.PeakFrc),
+		})
+	}
+	return table([]string{"series", "size", "PPN", "Tb/s", "frac of peak"}, rows)
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mpi"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Fig8Entry is one (application, system) pair of Fig. 8: the request-time
+// distribution with and without endpoint congestion.
+type Fig8Entry struct {
+	App       string
+	System    string
+	Isolated  *stats.Sample // request times, microseconds
+	Congested *stats.Sample
+}
+
+// Fig8Result reproduces Fig. 8: Tailbench latency distributions with and
+// without an incast aggressor (linear allocation, ~10%/90% victim split),
+// on Aries and Slingshot, annotated with the 95th/99th percentiles.
+type Fig8Result struct {
+	Entries []Fig8Entry
+}
+
+// Fig8Tailbench runs the experiment. Tailbench service times run at the
+// grid's documented 1/100 scale. The default scale is 64 nodes so the ~10%
+// victim allocation spans more than one switch — the client/server path
+// must cross fabric the congestion tree reaches, as it does at the paper's
+// 512-node scale.
+func Fig8Tailbench(opt Options) Fig8Result {
+	opt = opt.withDefaults(64, 20, 60)
+	var res Fig8Result
+	for _, sys := range gridSystems(opt.Nodes) {
+		for _, app := range workloads.DCAppsScaled(dcServiceScale) {
+			net := sys.build(opt.Seed)
+			rng := sim.NewRNG(opt.Seed + 99)
+			nv := maxi(2, opt.Nodes/10)
+			victimNodes, aggrNodes := placement.Split(opt.Nodes, nv, placement.Linear, nil)
+			vjob := mpi.NewJob(net, victimNodes, mpi.JobOpts{Stack: mpi.MPI, Tag: 1})
+
+			iso := sampleApp(vjob, app, rng, opt.MaxIters)
+
+			ajob := mpi.NewJob(net, aggrNodes, mpi.JobOpts{Stack: mpi.MPI, Tag: 2})
+			agg := workloads.StartIncast(ajob, workloads.AggressorMsgBytes, 2)
+			net.RunFor(300 * sim.Microsecond)
+			cong := sampleApp(vjob, app, rng, opt.MaxIters)
+			agg.Stop()
+
+			res.Entries = append(res.Entries, Fig8Entry{
+				App: app.Name, System: sys.Name, Isolated: iso, Congested: cong,
+			})
+		}
+	}
+	return res
+}
+
+func sampleApp(j *mpi.Job, app workloads.App, rng *sim.RNG, iters int) *stats.Sample {
+	s := stats.NewSample(iters)
+	eng := j.Net.Eng
+	for i := 0; i < iters; i++ {
+		start := eng.Now()
+		fin := false
+		app.Iterate(j, rng, func() { fin = true })
+		eng.RunWhile(func() bool { return !fin })
+		if !fin {
+			break
+		}
+		s.Add((eng.Now() - start).Microseconds())
+	}
+	return s
+}
+
+func (r Fig8Result) String() string {
+	var b strings.Builder
+	rows := make([][]string, 0, len(r.Entries))
+	for _, e := range r.Entries {
+		rows = append(rows, []string{
+			e.App, e.System,
+			f1(e.Isolated.Median()), f1(e.Isolated.Percentile(95)), f1(e.Isolated.Percentile(99)),
+			f1(e.Congested.Median()), f1(e.Congested.Percentile(95)), f1(e.Congested.Percentile(99)),
+			f2(e.Congested.Mean() / e.Isolated.Mean()),
+		})
+	}
+	fmt.Fprint(&b, table([]string{
+		"app", "system",
+		"iso p50(us)", "iso p95", "iso p99",
+		"cong p50(us)", "cong p95", "cong p99", "impact",
+	}, rows))
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/placement"
+	"repro/internal/stats"
+)
+
+// Fig9Result is the congestion-impact heatmap of Fig. 9: victims as
+// columns; (system, aggressor, split) as rows.
+type Fig9Result struct {
+	Columns []string
+	Rows    []Fig9RowResult
+}
+
+// Fig9RowResult is one heatmap row.
+type Fig9RowResult struct {
+	System    string
+	Aggressor string
+	AggrFrac  float64
+	Cells     []CellResult
+}
+
+// Fig9Splits are the paper's victim/aggressor splits: ~90/10, ~50/50,
+// ~10/90 (chosen so victims run at even, power-of-two and odd node
+// counts).
+var Fig9Splits = []float64{0.9, 0.5, 0.1}
+
+// Fig9Heatmap runs the Fig. 9 grid on both systems with linear allocation.
+// The paper runs 512-node experiments on 698- and 1024-node machines; the
+// same headroom ratio is kept here so a linear split cannot align the two
+// jobs onto disjoint Dragonfly groups (which would eliminate the
+// interference the experiment studies).
+func Fig9Heatmap(opt Options, set VictimSet) Fig9Result {
+	opt = opt.withDefaults(48, 4, 10)
+	return congestionGrid(opt, set, placement.Linear, gridSystems(opt.Nodes), Fig9Splits)
+}
+
+// gridSystems builds the Aries and Slingshot machines with the paper's
+// machine-size/experiment-size headroom (698/512 and 1024/512).
+func gridSystems(nodes int) []System {
+	return []System{Crystal(nodes * 3 / 2), Shandy(nodes * 2)}
+}
+
+func congestionGrid(opt Options, set VictimSet, alloc placement.Policy, systems []System, splits []float64) Fig9Result {
+	victims := Victims(set)
+	res := Fig9Result{}
+	for _, v := range victims {
+		res.Columns = append(res.Columns, v.Label)
+	}
+	seed := opt.Seed
+	for _, sys := range systems {
+		for _, kind := range []AggressorKind{AlltoallAggressor, IncastAggressor} {
+			for _, vf := range splits {
+				row := Fig9RowResult{
+					System:    sys.Name,
+					Aggressor: kind.String(),
+					AggrFrac:  1 - vf,
+				}
+				for _, v := range victims {
+					seed++
+					row.Cells = append(row.Cells, RunCell(CellSpec{
+						Sys:        sys,
+						TotalNodes: opt.Nodes,
+						VictimFrac: vf,
+						Aggressor:  kind,
+						Alloc:      alloc,
+						AggrPPN:    opt.PPN,
+						Seed:       seed,
+						MinIters:   opt.MinIters,
+						MaxIters:   opt.MaxIters,
+					}, v))
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res
+}
+
+// Max returns the largest impact per system, the paper's headline numbers
+// (worst case 93x on Aries vs 1.3x on Slingshot in Fig. 9).
+func (r Fig9Result) Max() map[string]float64 {
+	out := map[string]float64{}
+	for _, row := range r.Rows {
+		for _, c := range row.Cells {
+			if !c.NA && c.Impact > out[row.System] {
+				out[row.System] = c.Impact
+			}
+		}
+	}
+	return out
+}
+
+func (r Fig9Result) String() string {
+	header := append([]string{"system", "aggressor", "aggr%"}, r.Columns...)
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		cells := []string{row.System, row.Aggressor, fmt.Sprintf("%.0f%%", row.AggrFrac*100)}
+		for _, c := range row.Cells {
+			if c.NA {
+				cells = append(cells, "N.A.")
+			} else {
+				cells = append(cells, f1(c.Impact))
+			}
+		}
+		rows = append(rows, cells)
+	}
+	return table(header, rows)
+}
+
+// Fig10Variant is one panel of Fig. 10: the distribution of all heatmap
+// elements for a given allocation policy.
+type Fig10Variant struct {
+	System string
+	Alloc  placement.Policy
+	// Impacts is the distribution of congestion impacts across all
+	// victim/aggressor combinations.
+	Impacts *stats.Sample
+	Max     float64
+}
+
+// Fig10Result reproduces Fig. 10's three panels (A: allocations at 1 PPN,
+// B: aggressor at high PPN, C: reduced node count).
+type Fig10Result struct {
+	Panel    string
+	Variants []Fig10Variant
+}
+
+// Fig10Distributions runs one Fig. 10 panel. ppn is the aggressor PPN
+// (panel B uses 24 in the paper); nodes the total node count (panel C
+// shrinks it).
+func Fig10Distributions(opt Options, set VictimSet, panel string) Fig10Result {
+	opt = opt.withDefaults(48, 3, 8)
+	res := Fig10Result{Panel: panel}
+	for _, sys := range gridSystems(opt.Nodes) {
+		for _, alloc := range []placement.Policy{placement.Linear, placement.Interleaved, placement.Random} {
+			grid := congestionGrid(opt, set, alloc, []System{sys}, Fig9Splits)
+			sample := stats.NewSample(64)
+			max := 0.0
+			for _, row := range grid.Rows {
+				for _, c := range row.Cells {
+					if c.NA || math.IsNaN(c.Impact) {
+						continue
+					}
+					sample.Add(c.Impact)
+					if c.Impact > max {
+						max = c.Impact
+					}
+				}
+			}
+			res.Variants = append(res.Variants, Fig10Variant{
+				System: sys.Name, Alloc: alloc, Impacts: sample, Max: max,
+			})
+		}
+	}
+	return res
+}
+
+func (r Fig10Result) String() string {
+	rows := make([][]string, 0, len(r.Variants))
+	for _, v := range r.Variants {
+		rows = append(rows, []string{
+			v.System, v.Alloc.String(),
+			f2(v.Impacts.Median()), f2(v.Impacts.Percentile(95)), f1(v.Max),
+		})
+	}
+	return fmt.Sprintf("Fig. 10 panel %s\n%s", r.Panel,
+		table([]string{"system", "allocation", "median C", "p95 C", "max C"}, rows))
+}
+
+// Fig11Result is the full-system heatmap of Fig. 11: applications under
+// congestion using all nodes of Shandy, random allocation, with N.A.
+// entries where MILC/HPCG cannot run (non-power-of-two victim node count).
+type Fig11Result struct {
+	Columns []string
+	Rows    []Fig9RowResult
+}
+
+// Fig11Splits are the aggressor fractions of Fig. 11.
+var Fig11Splits = []float64{0.75, 0.5, 0.25} // victim fractions
+
+// Fig11FullScale runs the application victims at the largest configured
+// scale with random allocation (the paper: that is the allocation
+// generating the most congestion).
+func Fig11FullScale(opt Options) Fig11Result {
+	opt = opt.withDefaults(64, 3, 8)
+	grid := congestionGrid(opt, VictimsApps, placement.Random,
+		[]System{Shandy(opt.Nodes)}, Fig11Splits)
+	return Fig11Result{Columns: grid.Columns, Rows: grid.Rows}
+}
+
+func (r Fig11Result) String() string {
+	return Fig9Result{Columns: r.Columns, Rows: r.Rows}.String()
+}

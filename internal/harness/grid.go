@@ -1,0 +1,220 @@
+package harness
+
+import (
+	"math"
+
+	"repro/internal/mpi"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Victim is one column of the congestion grids: a named workload whose
+// slowdown under an aggressor is the measured quantity.
+type Victim struct {
+	Label          string
+	PowerOfTwoOnly bool
+	// BytesMoved estimates one iteration's traffic (caps iteration budgets
+	// for enormous victims).
+	BytesMoved int64
+	Run        func(j *mpi.Job, rng *sim.RNG, done func())
+}
+
+// AppVictim wraps a Table I application.
+func AppVictim(app workloads.App) Victim {
+	return Victim{
+		Label:          app.Name,
+		PowerOfTwoOnly: app.PowerOfTwoOnly,
+		BytesMoved:     1 << 20,
+		Run:            app.Iterate,
+	}
+}
+
+// BenchVictim wraps a microbenchmark.
+func BenchVictim(b workloads.Microbench) Victim {
+	return Victim{
+		Label:      b.Label(),
+		BytesMoved: b.Size,
+		Run: func(j *mpi.Job, _ *sim.RNG, done func()) {
+			b.Run(j, done)
+		},
+	}
+}
+
+// VictimSet selects the grid columns.
+type VictimSet int
+
+const (
+	// VictimsQuick: the nine applications plus a representative
+	// microbenchmark subset — the default for tests and benchmarks.
+	VictimsQuick VictimSet = iota
+	// VictimsApps: the nine Table I applications only.
+	VictimsApps
+	// VictimsFull: all 48 Fig. 9 columns (expensive; CLI use).
+	VictimsFull
+)
+
+// dcServiceScale shrinks Tailbench service times in grid experiments so
+// seconds-long queries stay simulable (see workloads.DCAppsScaled).
+const dcServiceScale = 0.01
+
+// Victims materializes a victim set.
+func Victims(set VictimSet) []Victim {
+	apps := workloads.AppsScaled(dcServiceScale)
+	var out []Victim
+	for _, a := range apps {
+		out = append(out, AppVictim(a))
+	}
+	switch set {
+	case VictimsApps:
+		return out
+	case VictimsQuick:
+		for _, b := range []workloads.Microbench{
+			workloads.PingPongBench(8), workloads.PingPongBench(128 * 1024),
+			workloads.AllreduceBench(8), workloads.AllreduceBench(128 * 1024),
+			workloads.AlltoallBench(8), workloads.AlltoallBench(128 * 1024),
+			workloads.BarrierBench(), workloads.BroadcastBench(8),
+			workloads.Halo3DBench(128), workloads.Sweep3DBench(128),
+			workloads.IncastBench(8),
+		} {
+			out = append(out, BenchVictim(b))
+		}
+	case VictimsFull:
+		for _, b := range workloads.Fig9Microbenches() {
+			out = append(out, BenchVictim(b))
+		}
+	}
+	return out
+}
+
+// AggressorKind selects the congestion pattern (§III-A).
+type AggressorKind int
+
+const (
+	// IncastAggressor generates endpoint congestion (many-to-one Put).
+	IncastAggressor AggressorKind = iota
+	// AlltoallAggressor generates intermediate congestion.
+	AlltoallAggressor
+)
+
+func (k AggressorKind) String() string {
+	if k == IncastAggressor {
+		return "incast"
+	}
+	return "all-to-all"
+}
+
+// CellSpec fully describes one congestion-grid cell.
+type CellSpec struct {
+	Sys        System
+	TotalNodes int
+	VictimFrac float64
+	Aggressor  AggressorKind
+	Alloc      placement.Policy
+	AggrPPN    int
+	Seed       uint64
+	MinIters   int
+	MaxIters   int
+	// Warmup lets the aggressor load the fabric before congested
+	// measurement starts.
+	Warmup sim.Time
+}
+
+// CellResult is one measured heatmap element.
+type CellResult struct {
+	Victim    string
+	Aggressor string
+	Frac      float64 // aggressor node fraction
+	Impact    float64 // C = Tc/Ti (NaN when NA)
+	NA        bool
+	Isolated  float64 // mean isolated iteration time (us)
+	Congested float64 // mean congested iteration time (us)
+}
+
+// isPow2 reports whether v is a power of two.
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// RunCell measures the congestion impact of one victim/aggressor pairing
+// following §III-A: measure the victim isolated, start the aggressor, warm
+// up, measure again, report C = Tc/Ti of the means.
+func RunCell(spec CellSpec, v Victim) CellResult {
+	res := CellResult{
+		Victim:    v.Label,
+		Aggressor: spec.Aggressor.String(),
+		Frac:      1 - spec.VictimFrac,
+	}
+	total := spec.TotalNodes
+	nv := int(math.Round(float64(total) * spec.VictimFrac))
+	if nv < 2 {
+		nv = 2
+	}
+	if nv > total-2 {
+		nv = total - 2
+	}
+	if v.PowerOfTwoOnly && !isPow2(nv) {
+		res.NA = true
+		res.Impact = math.NaN()
+		return res
+	}
+	net := spec.Sys.build(spec.Seed)
+	rng := sim.NewRNG(spec.Seed ^ 0x9e3779b9)
+	victimNodes, aggrNodes := placement.Split(total, nv, spec.Alloc, rng.Split())
+
+	vjob := mpi.NewJob(net, victimNodes, mpi.JobOpts{Stack: mpi.MPI, Tag: 1})
+	minIters, maxIters := spec.MinIters, spec.MaxIters
+	// Enormous victims get smaller budgets (the CI stopping rule still
+	// applies below them).
+	if traffic := v.BytesMoved * int64(len(victimNodes)) * int64(len(victimNodes)); traffic > 1<<30 {
+		if maxIters > 3 {
+			maxIters = 3
+		}
+		if minIters > 2 {
+			minIters = 2
+		}
+	}
+
+	iso := measureVictim(vjob, v, rng.Split(), minIters, maxIters)
+	res.Isolated = iso.Mean()
+
+	ajob := mpi.NewJob(net, aggrNodes, mpi.JobOpts{
+		PPN: spec.AggrPPN, Stack: mpi.MPI, Tag: 2,
+	})
+	var agg *workloads.Aggressor
+	if spec.Aggressor == IncastAggressor {
+		agg = workloads.StartIncast(ajob, workloads.AggressorMsgBytes, 2)
+	} else {
+		agg = workloads.StartAlltoall(ajob, workloads.AggressorMsgBytes)
+	}
+	warm := spec.Warmup
+	if warm == 0 {
+		warm = 300 * sim.Microsecond
+	}
+	net.RunFor(warm)
+
+	cong := measureVictim(vjob, v, rng.Split(), minIters, maxIters)
+	res.Congested = cong.Mean()
+	agg.Stop()
+
+	res.Impact = stats.CongestionImpact(res.Isolated, res.Congested)
+	return res
+}
+
+func measureVictim(j *mpi.Job, v Victim, rng *sim.RNG, minIters, maxIters int) *stats.Sample {
+	s := stats.NewSample(maxIters)
+	eng := j.Net.Eng
+	for i := 0; i < maxIters; i++ {
+		start := eng.Now()
+		fin := false
+		v.Run(j, rng, func() { fin = true })
+		eng.RunWhile(func() bool { return !fin })
+		if !fin {
+			break
+		}
+		s.Add((eng.Now() - start).Microseconds())
+		if i+1 >= minIters && s.Converged(0.05) {
+			break
+		}
+	}
+	return s
+}

@@ -1,0 +1,185 @@
+// Package harness regenerates every figure and table of the paper's
+// evaluation on the simulated systems. Each FigN function builds the
+// systems it needs, runs the paper's measurement protocol, and returns a
+// result struct that renders the same rows/series the paper reports.
+//
+// Experiments accept an Options scale so the full grids can run at paper
+// scale from cmd/slingshot-sim while tests and benchmarks use reduced node
+// counts (the shape of the results — who wins, by roughly what factor,
+// where crossovers fall — is what the reproduction asserts).
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// Options scales an experiment.
+type Options struct {
+	// Nodes is the total node count (0 = the experiment's default).
+	Nodes int
+	// MinIters/MaxIters bound the per-point measurement loop.
+	MinIters, MaxIters int
+	// Seed makes the whole experiment reproducible.
+	Seed uint64
+	// PPN is the aggressor processes-per-node where applicable.
+	PPN int
+}
+
+func (o Options) withDefaults(nodes, minIters, maxIters int) Options {
+	if o.Nodes == 0 {
+		o.Nodes = nodes
+	}
+	if o.MinIters == 0 {
+		o.MinIters = minIters
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = maxIters
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.PPN == 0 {
+		o.PPN = 1
+	}
+	return o
+}
+
+// System couples a topology shape with a hardware profile.
+type System struct {
+	Name string
+	Topo topology.Config
+	Prof fabric.Profile
+}
+
+// Shandy returns the 1024-node Slingshot system (scaled to n nodes when
+// n > 0 and smaller than the full machine).
+func Shandy(n int) System {
+	cfg := topology.ShandyConfig()
+	if n > 0 && n < 1024 {
+		cfg = topology.ScaledConfig(n)
+	}
+	return System{Name: "Slingshot (Shandy)", Topo: cfg, Prof: fabric.SlingshotProfile()}
+}
+
+// Malbec returns the 484-node Slingshot system (scaled when n > 0).
+func Malbec(n int) System {
+	cfg := topology.MalbecConfig()
+	if n > 0 && n < 484 {
+		cfg = topology.ScaledConfig(n)
+		cfg.GlobalPerPair *= 2 // Malbec is generously globally connected
+	}
+	return System{Name: "Slingshot (Malbec)", Prof: fabric.SlingshotProfile(), Topo: cfg}
+}
+
+// Crystal returns the 698-node Aries system (scaled when n > 0).
+func Crystal(n int) System {
+	cfg := topology.CrystalConfig()
+	if n > 0 && n < 698 {
+		// Keep Crystal's two-group, grid-group shape at reduced scale:
+		// 4 grid rows, column count from the node budget.
+		per := (n + 1) / 2
+		cols := (per + 15) / 16 // 4 nodes/switch x 4 rows per column
+		if cols < 2 {
+			cols = 2
+		}
+		cfg = topology.Config{
+			Groups:           2,
+			SwitchesPerGroup: 4 * cols,
+			NodesPerSwitch:   4,
+			GlobalPerPair:    maxi(8, per/8),
+			Shape:            topology.Grid2D,
+			GridRows:         4,
+		}
+	}
+	return System{Name: "Aries (Crystal)", Prof: fabric.AriesProfile(), Topo: cfg}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// build instantiates the network for a system.
+func (s System) build(seed uint64) *fabric.Network {
+	return fabric.New(topology.MustNew(s.Topo), s.Prof, seed)
+}
+
+// nodeRange returns the first n node IDs.
+func nodeRange(n int) []topology.NodeID {
+	out := make([]topology.NodeID, n)
+	for i := range out {
+		out[i] = topology.NodeID(i)
+	}
+	return out
+}
+
+// measureApp runs an application victim repeatedly under the paper's
+// protocol and returns per-iteration times in microseconds.
+func measureApp(j *mpi.Job, app workloads.App, rng *sim.RNG, minIters, maxIters int) *stats.Sample {
+	s := stats.NewSample(maxIters)
+	eng := j.Net.Eng
+	for i := 0; i < maxIters; i++ {
+		start := eng.Now()
+		fin := false
+		app.Iterate(j, rng, func() { fin = true })
+		eng.RunWhile(func() bool { return !fin })
+		if !fin {
+			break
+		}
+		s.Add((eng.Now() - start).Microseconds())
+		if i+1 >= minIters && s.Converged(0.05) {
+			break
+		}
+	}
+	return s
+}
+
+// table renders rows of labelled values as a fixed-width text table.
+func table(header []string, rows [][]string) string {
+	w := make([]int, len(header))
+	for i, h := range header {
+		w[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, width := range w {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", width))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

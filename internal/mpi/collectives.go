@@ -1,0 +1,214 @@
+package mpi
+
+import (
+	"repro/internal/sim"
+)
+
+// AlltoallSwitchBytes is the per-pair message size at which the Alltoall
+// implementation switches from the memory-hungry Bruck algorithm to
+// pairwise exchange. §II-G: "to reduce memory usage, the MPI implementation
+// switches to a different algorithm for messages larger than 256 bytes" —
+// the cause of the Fig. 6 throughput dip at 256 B.
+const AlltoallSwitchBytes = 256
+
+// AllreduceRingBytes is the size at which Allreduce switches from
+// latency-optimal recursive doubling to bandwidth-optimal ring
+// (reduce-scatter + allgather).
+const AllreduceRingBytes = 64 * 1024
+
+// Barrier runs a dissemination barrier; cb fires when the slowest rank
+// leaves it.
+func (j *Job) Barrier(cb func(at sim.Time)) {
+	n := j.Size()
+	if n == 1 {
+		cb(j.Net.Eng.Now())
+		return
+	}
+	var plan []phase
+	for k := 1; k < n; k <<= 1 {
+		ph := make(phase, 0, n)
+		for r := 0; r < n; r++ {
+			ph = append(ph, msgSpec{from: r, to: (r + k) % n, bytes: 8})
+		}
+		plan = append(plan, ph)
+	}
+	j.runPlan(plan, cb)
+}
+
+// Allreduce reduces bytes across all ranks, leaving the result everywhere.
+func (j *Job) Allreduce(bytes int64, cb func(at sim.Time)) {
+	n := j.Size()
+	if n == 1 {
+		cb(j.Net.Eng.Now())
+		return
+	}
+	if bytes > AllreduceRingBytes {
+		j.runPlan(ringAllreducePlan(n, bytes), cb)
+		return
+	}
+	j.runPlan(recursiveDoublingPlan(n, bytes), cb)
+}
+
+// recursiveDoublingPlan builds the latency-optimal allreduce schedule. For
+// non-power-of-two rank counts it uses the standard fold: the first 2*rem
+// ranks pair up so a power-of-two core runs the doubling, then unfold.
+func recursiveDoublingPlan(n int, bytes int64) []phase {
+	m := 1 << log2floor(n)
+	rem := n - m
+	var plan []phase
+
+	// Fold: ranks [m, n) send their contribution to [0, rem).
+	if rem > 0 {
+		ph := make(phase, 0, rem)
+		for i := 0; i < rem; i++ {
+			ph = append(ph, msgSpec{from: m + i, to: i, bytes: bytes})
+		}
+		plan = append(plan, ph)
+	}
+	// Doubling among the power-of-two core [0, m).
+	for k := 1; k < m; k <<= 1 {
+		ph := make(phase, 0, m)
+		for r := 0; r < m; r++ {
+			ph = append(ph, msgSpec{from: r, to: r ^ k, bytes: bytes})
+		}
+		plan = append(plan, ph)
+	}
+	// Unfold: results back to the folded ranks.
+	if rem > 0 {
+		ph := make(phase, 0, rem)
+		for i := 0; i < rem; i++ {
+			ph = append(ph, msgSpec{from: i, to: m + i, bytes: bytes})
+		}
+		plan = append(plan, ph)
+	}
+	return plan
+}
+
+// ringAllreducePlan builds the bandwidth-optimal schedule: a reduce-scatter
+// ring followed by an allgather ring, 2*(n-1) phases of bytes/n each.
+func ringAllreducePlan(n int, bytes int64) []phase {
+	chunk := bytes / int64(n)
+	if chunk < 1 {
+		chunk = 1
+	}
+	plan := make([]phase, 0, 2*(n-1))
+	for step := 0; step < 2*(n-1); step++ {
+		ph := make(phase, 0, n)
+		for r := 0; r < n; r++ {
+			ph = append(ph, msgSpec{from: r, to: (r + 1) % n, bytes: chunk})
+		}
+		plan = append(plan, ph)
+	}
+	return plan
+}
+
+// Alltoall exchanges bytesPerPair between every pair of ranks, switching
+// algorithms at AlltoallSwitchBytes exactly as the measured system does.
+func (j *Job) Alltoall(bytesPerPair int64, cb func(at sim.Time)) {
+	n := j.Size()
+	if n == 1 {
+		cb(j.Net.Eng.Now())
+		return
+	}
+	if bytesPerPair <= AlltoallSwitchBytes {
+		j.runPlan(bruckPlan(n, bytesPerPair), cb)
+		return
+	}
+	// Pairwise phases carry independent data, so implementations keep a
+	// few exchanges in flight (slack); Bruck stages data through
+	// intermediate ranks and must run phase by phase.
+	j.runPlanSlack(pairwisePlan(n, bytesPerPair), 3, cb)
+}
+
+// bruckPlan builds the Bruck all-to-all: ceil(log2 n) phases; in phase k
+// each rank ships every data block whose destination offset has bit k set,
+// aggregated into one message to rank (r + 2^k) mod n. Fewer, larger
+// messages: ideal for tiny payloads, too much staging memory for large
+// ones.
+func bruckPlan(n int, bytesPerPair int64) []phase {
+	var plan []phase
+	for k := 1; k < n; k <<= 1 {
+		blocks := 0
+		for j := 1; j < n; j++ {
+			if j&k != 0 {
+				blocks++
+			}
+		}
+		ph := make(phase, 0, n)
+		for r := 0; r < n; r++ {
+			ph = append(ph, msgSpec{from: r, to: (r + k) % n, bytes: bytesPerPair * int64(blocks)})
+		}
+		plan = append(plan, ph)
+	}
+	return plan
+}
+
+// pairwisePlan builds the pairwise-exchange all-to-all: n-1 phases, in
+// phase s rank r exchanges directly with (r+s) mod n.
+func pairwisePlan(n int, bytesPerPair int64) []phase {
+	plan := make([]phase, 0, n-1)
+	for s := 1; s < n; s++ {
+		ph := make(phase, 0, n)
+		for r := 0; r < n; r++ {
+			ph = append(ph, msgSpec{from: r, to: (r + s) % n, bytes: bytesPerPair})
+		}
+		plan = append(plan, ph)
+	}
+	return plan
+}
+
+// Bcast broadcasts bytes from root with a binomial tree.
+func (j *Job) Bcast(bytes int64, root int, cb func(at sim.Time)) {
+	n := j.Size()
+	if n == 1 {
+		cb(j.Net.Eng.Now())
+		return
+	}
+	rel := func(r int) int { return (r - root + n) % n }
+	abs := func(r int) int { return (r + root) % n }
+	var plan []phase
+	for k := 1; k < n; k <<= 1 {
+		var ph phase
+		for r := 0; r < n; r++ {
+			if rel(r) < k && rel(r)+k < n {
+				ph = append(ph, msgSpec{from: r, to: abs(rel(r) + k), bytes: bytes})
+			}
+		}
+		plan = append(plan, ph)
+	}
+	j.runPlan(plan, cb)
+}
+
+// Reduce reduces to root with the mirror of the binomial broadcast tree.
+func (j *Job) Reduce(bytes int64, root int, cb func(at sim.Time)) {
+	n := j.Size()
+	if n == 1 {
+		cb(j.Net.Eng.Now())
+		return
+	}
+	rel := func(r int) int { return (r - root + n) % n }
+	abs := func(r int) int { return (r + root) % n }
+	// Phases run the broadcast tree backwards.
+	var ks []int
+	for k := 1; k < n; k <<= 1 {
+		ks = append(ks, k)
+	}
+	var plan []phase
+	for i := len(ks) - 1; i >= 0; i-- {
+		k := ks[i]
+		var ph phase
+		for r := 0; r < n; r++ {
+			if rel(r) < k && rel(r)+k < n {
+				ph = append(ph, msgSpec{from: abs(rel(r) + k), to: r, bytes: bytes})
+			}
+		}
+		plan = append(plan, ph)
+	}
+	j.runPlan(plan, cb)
+}
+
+// Sendrecv runs a bidirectional exchange between two ranks; cb fires when
+// both directions have completed.
+func (j *Job) Sendrecv(a, b int, bytes int64, cb func(at sim.Time)) {
+	j.runPlan([]phase{{{from: a, to: b, bytes: bytes}, {from: b, to: a, bytes: bytes}}}, cb)
+}

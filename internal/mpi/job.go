@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Job is a set of MPI ranks running on a subset of a network's nodes.
+type Job struct {
+	Net   *fabric.Network
+	Nodes []topology.NodeID
+	PPN   int
+	Stack Stack
+	Class int   // traffic class index for bulk traffic
+	Tag   int64 // job label carried on every message
+	// LatencyClass, when >= 0, carries small messages (<= LatencyClassBytes)
+	// on a separate traffic class — the §II-E optimization of assigning
+	// latency-sensitive collectives like MPI_Barrier and MPI_Allreduce to
+	// a high-priority, low-bandwidth class while bulk transfers ride a
+	// high-bandwidth one.
+	LatencyClass int
+}
+
+// LatencyClassBytes is the size at or below which messages use the job's
+// LatencyClass (when configured).
+const LatencyClassBytes = 1024
+
+// JobOpts configures a job.
+type JobOpts struct {
+	PPN   int
+	Stack Stack
+	Class int
+	Tag   int64
+	// LatencyClass < 0 (default via NewJob when left zero-valued
+	// alongside UseLatencyClass=false) disables per-size class selection.
+	LatencyClass    int
+	UseLatencyClass bool
+}
+
+// NewJob creates a job over the given nodes. PPN ranks run on each node
+// (rank r lives on nodes[r/PPN], the standard block mapping).
+func NewJob(net *fabric.Network, nodes []topology.NodeID, opts JobOpts) *Job {
+	if opts.PPN <= 0 {
+		opts.PPN = 1
+	}
+	if len(nodes) == 0 {
+		panic("mpi: job with no nodes")
+	}
+	lat := -1
+	if opts.UseLatencyClass {
+		lat = opts.LatencyClass
+	}
+	return &Job{
+		Net:          net,
+		Nodes:        nodes,
+		PPN:          opts.PPN,
+		Stack:        opts.Stack,
+		Class:        opts.Class,
+		Tag:          opts.Tag,
+		LatencyClass: lat,
+	}
+}
+
+// Size returns the number of ranks.
+func (j *Job) Size() int { return len(j.Nodes) * j.PPN }
+
+// Node returns the node hosting a rank.
+func (j *Job) Node(rank int) topology.NodeID {
+	if rank < 0 || rank >= j.Size() {
+		panic(fmt.Sprintf("mpi: rank %d out of job of size %d", rank, j.Size()))
+	}
+	return j.Nodes[rank/j.PPN]
+}
+
+// Send transfers bytes from one rank to another; cb fires when the message
+// is delivered (and past the receiver's software stack).
+func (j *Job) Send(from, to int, bytes int64, cb func(at sim.Time)) {
+	j.send(from, to, bytes, false, cb)
+}
+
+// Put is a one-sided RDMA write; completion semantics at the target are
+// the same in this model (cb fires on remote delivery).
+func (j *Job) Put(from, to int, bytes int64, cb func(at sim.Time)) {
+	j.send(from, to, bytes, true, cb)
+}
+
+func (j *Job) send(from, to int, bytes int64, oneSided bool, cb func(at sim.Time)) {
+	src, dst := j.Node(from), j.Node(to)
+	eng := j.Net.Eng
+	sendOH := j.Stack.SendOverhead(bytes)
+	recvOH := j.Stack.RecvOverhead(bytes)
+	class := j.Class
+	if j.LatencyClass >= 0 && bytes <= LatencyClassBytes {
+		class = j.LatencyClass
+	}
+	opts := fabric.SendOpts{
+		Class:        class,
+		Tag:          j.Tag,
+		NoRendezvous: j.Stack.Sockets() || oneSided,
+		OnDelivered: func(at sim.Time) {
+			if cb != nil {
+				eng.After(recvOH, func() { cb(eng.Now()) })
+			}
+		},
+	}
+	eng.After(sendOH, func() { j.Net.Send(src, dst, bytes, opts) })
+}
+
+// PingPong measures iters half-round-trips between two ranks and returns
+// each iteration's RTT/2. The measurement protocol matches the paper: rank
+// a sends, rank b replies on receipt.
+func (j *Job) PingPong(a, b int, bytes int64, iters int, done func(rttHalf []sim.Time)) {
+	results := make([]sim.Time, 0, iters)
+	eng := j.Net.Eng
+	var round func()
+	round = func() {
+		if len(results) >= iters {
+			done(results)
+			return
+		}
+		start := eng.Now()
+		j.Send(a, b, bytes, func(sim.Time) {
+			j.Send(b, a, bytes, func(at sim.Time) {
+				results = append(results, (at-start)/2)
+				round()
+			})
+		})
+	}
+	round()
+}

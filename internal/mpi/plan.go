@@ -1,0 +1,121 @@
+package mpi
+
+import (
+	"repro/internal/sim"
+)
+
+// msgSpec is one message of a collective's communication schedule.
+type msgSpec struct {
+	from, to int
+	bytes    int64
+}
+
+// phase is the set of messages exchanged in one round of a collective.
+// A rank enters phase p+1 once all its phase-p sends are delivered and all
+// phase-p messages addressed to it have arrived — the loose per-rank
+// synchronization real collectives have (no global barrier per round).
+type phase []msgSpec
+
+// runPlan executes a phased communication schedule and calls cb with the
+// completion time of the slowest rank (the paper's methodology: "the
+// maximum time among the ranks").
+func (j *Job) runPlan(plan []phase, cb func(at sim.Time)) {
+	j.runPlanSlack(plan, 0, cb)
+}
+
+// runPlanSlack is runPlan with pipelining: a rank may run up to slack+1
+// phases concurrently — it posts phase p once every phase <= p-1-slack is
+// fully settled for it. slack 0 is strict phase-by-phase execution (data
+// dependencies, e.g. reductions); the pairwise all-to-all uses a positive
+// slack because its phases move independent data and real implementations
+// keep several exchanges in flight.
+func (j *Job) runPlanSlack(plan []phase, slack int, cb func(at sim.Time)) {
+	p := len(plan)
+	n := j.Size()
+	if p == 0 || n == 0 {
+		cb(j.Net.Eng.Now())
+		return
+	}
+	// Counters: how many sends/recvs rank r still owes in phase k, plus a
+	// per-sender index so posting a rank's phase is O(its own messages).
+	sendLeft := make([][]int, p)
+	recvLeft := make([][]int, p)
+	byFrom := make([][][]msgSpec, p)
+	for k := range plan {
+		sendLeft[k] = make([]int, n)
+		recvLeft[k] = make([]int, n)
+		byFrom[k] = make([][]msgSpec, n)
+		for _, m := range plan[k] {
+			sendLeft[k][m.from]++
+			recvLeft[k][m.to]++
+			byFrom[k][m.from] = append(byFrom[k][m.from], m)
+		}
+	}
+	cur := make([]int, n)     // lowest unsettled phase per rank
+	entered := make([]int, n) // highest phase the rank has posted sends for
+	for i := range entered {
+		entered[i] = -1
+	}
+	remaining := n
+	var final sim.Time
+
+	var tryAdvance func(r int)
+	post := func(r, k int) {
+		for _, m := range byFrom[k][r] {
+			m := m
+			j.Send(m.from, m.to, m.bytes, func(at sim.Time) {
+				sendLeft[k][m.from]--
+				recvLeft[k][m.to]--
+				tryAdvance(m.from)
+				if m.to != m.from {
+					tryAdvance(m.to)
+				}
+			})
+		}
+	}
+	tryAdvance = func(r int) {
+		for {
+			// Settle completed phases in order.
+			for cur[r] < p && sendLeft[cur[r]][r] == 0 && recvLeft[cur[r]][r] == 0 &&
+				entered[r] >= cur[r] {
+				cur[r]++
+			}
+			if cur[r] == p {
+				cur[r]++ // mark done exactly once
+				remaining--
+				if at := j.Net.Eng.Now(); at > final {
+					final = at
+				}
+				if remaining == 0 {
+					cb(final)
+				}
+				return
+			}
+			if cur[r] > p {
+				return
+			}
+			// Post any phase within the pipelining window.
+			next := entered[r] + 1
+			if next >= p || next > cur[r]+slack {
+				return
+			}
+			entered[r] = next
+			post(r, next)
+		}
+	}
+	for r := 0; r < n; r++ {
+		tryAdvance(r)
+	}
+}
+
+// log2floor returns floor(log2(n)) for n >= 1.
+func log2floor(n int) int {
+	k := 0
+	for 1<<(k+1) <= n {
+		k++
+	}
+	return k
+}
+
+// isPow2 reports whether n is a power of two.
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

@@ -1,0 +1,180 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// Structural properties of the collective communication schedules.
+
+func totalBytes(plan []phase) int64 {
+	var s int64
+	for _, ph := range plan {
+		for _, m := range ph {
+			s += m.bytes
+		}
+	}
+	return s
+}
+
+func TestPropertyPairwiseCoversAllPairs(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw)%30 + 2
+		seen := make(map[[2]int]int)
+		for _, ph := range pairwisePlan(n, 100) {
+			for _, m := range ph {
+				if m.from == m.to {
+					return false
+				}
+				seen[[2]int{m.from, m.to}]++
+			}
+		}
+		// Every ordered pair exactly once.
+		if len(seen) != n*(n-1) {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBruckBytesMatchFormula(t *testing.T) {
+	// Bruck phase k ships, per rank, one block per destination offset with
+	// bit k set; over all phases each of the n-1 non-self offsets is
+	// shipped popcount(offset) times.
+	f := func(raw uint8, rawBytes uint16) bool {
+		n := int(raw)%60 + 2
+		bytes := int64(rawBytes%1000) + 1
+		var want int64
+		for off := 1; off < n; off++ {
+			pops := 0
+			for b := off; b > 0; b >>= 1 {
+				pops += b & 1
+			}
+			want += int64(pops) * bytes * int64(n)
+		}
+		return totalBytes(bruckPlan(n, bytes)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRecursiveDoublingSymmetric(t *testing.T) {
+	// In the power-of-two core phases, every send has a matching reverse
+	// send in the same phase.
+	f := func(raw uint8) bool {
+		n := int(raw)%64 + 2
+		plan := recursiveDoublingPlan(n, 64)
+		for _, ph := range plan {
+			index := make(map[[2]int]bool)
+			for _, m := range ph {
+				index[[2]int{m.from, m.to}] = true
+			}
+			for _, m := range ph {
+				// Fold/unfold phases are one-directional; core phases are
+				// XOR pairings and must be symmetric.
+				if m.from^m.to != 0 && (m.from^m.to)&((m.from^m.to)-1) == 0 &&
+					len(ph) == 1<<log2floor(n) {
+					if !index[[2]int{m.to, m.from}] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBarrierConnectsAllRanks(t *testing.T) {
+	// After the dissemination rounds, information from rank 0 must have
+	// reached every rank (transitive closure over phases).
+	f := func(raw uint8) bool {
+		n := int(raw)%40 + 2
+		reached := make([]bool, n)
+		reached[0] = true
+		var plan []phase
+		for k := 1; k < n; k <<= 1 {
+			ph := make(phase, 0, n)
+			for r := 0; r < n; r++ {
+				ph = append(ph, msgSpec{from: r, to: (r + k) % n, bytes: 8})
+			}
+			plan = append(plan, ph)
+		}
+		for _, ph := range plan {
+			next := append([]bool(nil), reached...)
+			for _, m := range ph {
+				if reached[m.from] {
+					next[m.to] = true
+				}
+			}
+			reached = next
+		}
+		for _, ok := range reached {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRingTotals(t *testing.T) {
+	f := func(raw uint8, rawBytes uint16) bool {
+		n := int(raw)%30 + 2
+		bytes := int64(rawBytes) + int64(n) // ensure chunk >= 1
+		plan := ringAllreducePlan(n, bytes)
+		if len(plan) != 2*(n-1) {
+			return false
+		}
+		chunk := bytes / int64(n)
+		if chunk < 1 {
+			chunk = 1
+		}
+		return totalBytes(plan) == chunk*int64(n)*int64(2*(n-1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunPlanSlackEquivalence(t *testing.T) {
+	// The same plan completes under any slack, and more slack can only
+	// finish earlier or equal (more overlap, same messages).
+	var times []sim.Time
+	for _, slack := range []int{0, 1, 3} {
+		net := testNet(t)
+		j := jobOf(t, net, 8, 1)
+		var at sim.Time
+		fired := 0
+		j.runPlanSlack(pairwisePlan(8, 4096), slack, func(t2 sim.Time) {
+			at = t2
+			fired++
+		})
+		net.Eng.Run()
+		if fired != 1 {
+			t.Fatalf("slack %d: callback fired %d times", slack, fired)
+		}
+		times = append(times, at)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] > times[i-1] {
+			t.Errorf("more slack finished later: %v", times)
+		}
+	}
+}

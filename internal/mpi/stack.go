@@ -1,0 +1,92 @@
+// Package mpi layers an MPI-like programming model over the fabric
+// simulator: jobs with ranks (optionally several per node), point-to-point
+// sends, one-sided puts, and the collective algorithms whose behaviour the
+// paper's figures depend on — including the eager/Bruck-to-pairwise
+// all-to-all switch at 256 bytes that causes the Fig. 6 dip, and the
+// power-of-two restrictions behind the N.A. cells of Fig. 11.
+//
+// It also models the software stacks of Fig. 5 (§II-G): IB Verbs,
+// libfabric, MPI (Cray MPICH implements MPI over libfabric over verbs),
+// and the classic socket paths (UDP, TCP) with their much higher
+// per-message and per-byte host costs.
+package mpi
+
+import (
+	"repro/internal/sim"
+)
+
+// Stack identifies the software layer an operation is issued through.
+type Stack int
+
+const (
+	// Verbs is raw RDMA verbs: the thinnest layer over the NIC.
+	Verbs Stack = iota
+	// Libfabric adds the OFI provider dispatch on top of verbs.
+	Libfabric
+	// MPI adds matching, datatype and protocol logic on top of libfabric.
+	MPI
+	// UDP is a kernel socket path: syscalls and copies, no RDMA.
+	UDP
+	// TCP adds stream/ack processing on top of the socket path.
+	TCP
+)
+
+func (s Stack) String() string {
+	switch s {
+	case Verbs:
+		return "ibverbs"
+	case Libfabric:
+		return "libfabric"
+	case MPI:
+		return "mpi"
+	case UDP:
+		return "udp"
+	case TCP:
+		return "tcp"
+	}
+	return "unknown"
+}
+
+// Stacks lists all stacks in the order Fig. 5 plots them.
+func Stacks() []Stack { return []Stack{Verbs, Libfabric, MPI, UDP, TCP} }
+
+// stackCosts holds the per-side fixed overhead and the per-byte host cost
+// (copies, checksums) of a stack. RDMA stacks are zero-copy.
+type stackCosts struct {
+	fixed   sim.Time // added at each of send and receive
+	perByte float64  // ns per byte, each side
+	sockets bool     // kernel path: no RDMA rendezvous
+}
+
+func (s Stack) costs() stackCosts {
+	switch s {
+	case Verbs:
+		return stackCosts{fixed: 80 * sim.Nanosecond}
+	case Libfabric:
+		return stackCosts{fixed: 160 * sim.Nanosecond}
+	case MPI:
+		return stackCosts{fixed: 290 * sim.Nanosecond}
+	case UDP:
+		return stackCosts{fixed: 5500 * sim.Nanosecond, perByte: 0.035, sockets: true}
+	case TCP:
+		return stackCosts{fixed: 11000 * sim.Nanosecond, perByte: 0.045, sockets: true}
+	}
+	return stackCosts{}
+}
+
+// SendOverhead is the host-side cost charged before a message is handed to
+// the NIC.
+func (s Stack) SendOverhead(bytes int64) sim.Time {
+	c := s.costs()
+	return c.fixed + sim.Time(float64(bytes)*c.perByte*float64(sim.Nanosecond))
+}
+
+// RecvOverhead is the host-side cost charged after the NIC delivers a
+// message, before the application sees it.
+func (s Stack) RecvOverhead(bytes int64) sim.Time {
+	return s.SendOverhead(bytes) // symmetric in this model
+}
+
+// Sockets reports whether the stack bypasses RDMA (no rendezvous protocol,
+// host copies on both sides).
+func (s Stack) Sockets() bool { return s.costs().sockets }

@@ -1,0 +1,117 @@
+// Package phy models the physical layer of §II-A and §II-F: SerDes lanes,
+// forward error correction (FEC), link-level reliability (LLR) retransmit,
+// lane degrade, and cable propagation delay.
+package phy
+
+import (
+	"repro/internal/sim"
+)
+
+// Lane parameters of the Rosetta SerDes (§II-A): four lanes of 56 Gb/s
+// PAM-4 signalling per port, of which 50 Gb/s survive FEC overhead.
+const (
+	LanesPerPort       = 4
+	LaneRawBits  int64 = 56e9
+	LaneDataBits int64 = 50e9
+	// PortBits is the usable per-direction port bandwidth: 4 x 50 = 200 Gb/s.
+	PortBits int64 = LanesPerPort * LaneDataBits
+)
+
+// Propagation delay: ~5 ns/m in both copper and fibre (the paper's cables:
+// copper up to 2.6 m inside a group, optical up to 100 m between groups).
+const (
+	NsPerMeter       = 5
+	CopperMeters     = 2.6
+	OpticalMeters    = 30.0 // typical inter-group run; max is 100 m
+	EdgeCopperMeters = 2.0
+)
+
+// CopperDelay is the one-way propagation delay of an intra-group cable.
+func CopperDelay() sim.Time {
+	return sim.FromNanoseconds(CopperMeters * NsPerMeter)
+}
+
+// OpticalDelay is the one-way propagation delay of an inter-group cable.
+func OpticalDelay() sim.Time {
+	return sim.FromNanoseconds(OpticalMeters * NsPerMeter)
+}
+
+// EdgeDelay is the one-way propagation delay of a NIC-to-switch cable.
+func EdgeDelay() sim.Time {
+	return sim.FromNanoseconds(EdgeCopperMeters * NsPerMeter)
+}
+
+// FECLatency is the low-latency FEC encode+decode time added per link
+// traversal (the 25G consortium low-latency RS-FEC is ~30-60 ns per
+// direction at 50G lane rate; we charge a combined fixed cost).
+const FECLatency = 30 * sim.Nanosecond
+
+// Link models one physical link direction: lane state, LLR retransmission
+// and a bit-error process. It carries no queueing — that is fabric's job —
+// only physical-layer timing and loss.
+type Link struct {
+	Lanes      int     // active lanes (lane degrade reduces this)
+	BER        float64 // residual post-FEC frame error probability
+	LLREnabled bool    // link-level retry (Slingshot links have it; plain Ethernet does not)
+	LLRDelay   sim.Time
+	rng        *sim.RNG
+	// Stats
+	FramesSent  int64
+	FrameErrors int64
+	LLRRetries  int64
+	FramesLost  int64 // errors not recovered (no LLR)
+}
+
+// NewLink returns a healthy 4-lane link. berPerFrame is the post-FEC frame
+// error probability (0 for the deterministic experiments; small positive
+// values for the failure-injection tests).
+func NewLink(rng *sim.RNG, berPerFrame float64, llr bool) *Link {
+	return &Link{
+		Lanes:      LanesPerPort,
+		BER:        berPerFrame,
+		LLREnabled: llr,
+		LLRDelay:   300 * sim.Nanosecond, // one reverse-direction notification + replay
+		rng:        rng,
+	}
+}
+
+// Bandwidth returns the current usable bandwidth in bits/s, accounting for
+// degraded lanes.
+func (l *Link) Bandwidth() int64 {
+	return int64(l.Lanes) * LaneDataBits
+}
+
+// DegradeLane removes one lane (the §II-F "lanes degrade" mechanism that
+// tolerates hard lane failures by running the port at reduced width).
+// It reports whether the link is still usable.
+func (l *Link) DegradeLane() bool {
+	if l.Lanes > 0 {
+		l.Lanes--
+	}
+	return l.Lanes > 0
+}
+
+// RestoreLanes returns the link to full width (cable replaced).
+func (l *Link) RestoreLanes() { l.Lanes = LanesPerPort }
+
+// TransferTime returns the wire occupancy plus physical-layer latency for
+// a frame of the given wire size, including any LLR retransmissions, and
+// whether the frame was delivered. Errors without LLR lose the frame (the
+// NIC's end-to-end retry recovers it at a much higher level, §II-F).
+func (l *Link) TransferTime(wireBytes int, propagation sim.Time) (sim.Time, bool) {
+	l.FramesSent++
+	t := sim.SerializationTime(int64(wireBytes), l.Bandwidth()) + propagation + FECLatency
+	if l.BER <= 0 || l.rng == nil {
+		return t, true
+	}
+	for l.rng.Float64() < l.BER {
+		l.FrameErrors++
+		if !l.LLREnabled {
+			l.FramesLost++
+			return t, false
+		}
+		l.LLRRetries++
+		t += l.LLRDelay + sim.SerializationTime(int64(wireBytes), l.Bandwidth())
+	}
+	return t, true
+}

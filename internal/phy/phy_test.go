@@ -1,0 +1,116 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPortBandwidth(t *testing.T) {
+	// §II-A: 4 lanes x 56 Gb/s raw, 50 Gb/s each post-FEC = 200 Gb/s.
+	if PortBits != 200e9 {
+		t.Fatalf("PortBits = %d", PortBits)
+	}
+	if LaneRawBits <= LaneDataBits {
+		t.Error("FEC overhead missing")
+	}
+}
+
+func TestPropagationDelays(t *testing.T) {
+	if CopperDelay() != 13*sim.Nanosecond {
+		t.Errorf("copper = %v", CopperDelay())
+	}
+	if OpticalDelay() != 150*sim.Nanosecond {
+		t.Errorf("optical = %v", OpticalDelay())
+	}
+	if EdgeDelay() != 10*sim.Nanosecond {
+		t.Errorf("edge = %v", EdgeDelay())
+	}
+	if OpticalDelay() <= CopperDelay() {
+		t.Error("optical should be longer than copper")
+	}
+}
+
+func TestLinkCleanTransfer(t *testing.T) {
+	l := NewLink(sim.NewRNG(1), 0, true)
+	d, ok := l.TransferTime(4158, CopperDelay())
+	if !ok {
+		t.Fatal("clean link dropped a frame")
+	}
+	want := sim.SerializationTime(4158, 200e9) + CopperDelay() + FECLatency
+	if d != want {
+		t.Errorf("transfer = %v, want %v", d, want)
+	}
+	if l.FramesSent != 1 || l.FrameErrors != 0 {
+		t.Errorf("stats = %+v", l)
+	}
+}
+
+func TestLinkLLRRecovers(t *testing.T) {
+	l := NewLink(sim.NewRNG(2), 0.3, true)
+	delivered := 0
+	var base, slow sim.Time
+	base, _ = NewLink(nil, 0, true).TransferTime(1000, 0)
+	for i := 0; i < 2000; i++ {
+		d, ok := l.TransferTime(1000, 0)
+		if !ok {
+			t.Fatal("LLR link lost a frame")
+		}
+		slow += d
+		delivered++
+	}
+	if l.LLRRetries == 0 {
+		t.Error("no retries at 30% error rate")
+	}
+	if l.FramesLost != 0 {
+		t.Error("LLR should not lose frames")
+	}
+	if slow <= base*2000 {
+		t.Error("retries should add latency")
+	}
+}
+
+func TestLinkWithoutLLRLoses(t *testing.T) {
+	l := NewLink(sim.NewRNG(3), 0.5, false)
+	lost := 0
+	for i := 0; i < 1000; i++ {
+		if _, ok := l.TransferTime(1000, 0); !ok {
+			lost++
+		}
+	}
+	if lost < 300 || lost > 700 {
+		t.Errorf("lost %d/1000 at BER 0.5", lost)
+	}
+	if l.FramesLost != int64(lost) {
+		t.Errorf("FramesLost = %d, want %d", l.FramesLost, lost)
+	}
+}
+
+func TestLaneDegrade(t *testing.T) {
+	l := NewLink(sim.NewRNG(4), 0, true)
+	full := l.Bandwidth()
+	if full != 200e9 {
+		t.Fatalf("full bandwidth = %d", full)
+	}
+	if !l.DegradeLane() {
+		t.Fatal("link should survive one lane loss")
+	}
+	if l.Bandwidth() != 150e9 {
+		t.Errorf("3-lane bandwidth = %d", l.Bandwidth())
+	}
+	// Degrading slows transfers down proportionally.
+	fullT, _ := NewLink(nil, 0, true).TransferTime(4096, 0)
+	degT, _ := l.TransferTime(4096, 0)
+	if degT <= fullT {
+		t.Error("degraded link not slower")
+	}
+	l.DegradeLane()
+	l.DegradeLane()
+	if l.DegradeLane() {
+		t.Error("0-lane link claims to be usable")
+	}
+	l.RestoreLanes()
+	if l.Bandwidth() != full {
+		t.Error("RestoreLanes did not restore")
+	}
+}

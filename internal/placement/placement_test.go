@@ -1,0 +1,166 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func checkPartition(t *testing.T, total, victims int, v, a []topology.NodeID) {
+	t.Helper()
+	if len(v) != victims || len(a) != total-victims {
+		t.Fatalf("sizes: victim %d (want %d), aggressor %d (want %d)",
+			len(v), victims, len(a), total-victims)
+	}
+	seen := make(map[topology.NodeID]int)
+	for _, n := range v {
+		seen[n]++
+	}
+	for _, n := range a {
+		seen[n]++
+	}
+	if len(seen) != total {
+		t.Fatalf("partition covers %d nodes, want %d", len(seen), total)
+	}
+	for n, c := range seen {
+		if c != 1 || int(n) < 0 || int(n) >= total {
+			t.Fatalf("node %d appears %d times", n, c)
+		}
+	}
+}
+
+func TestLinearSplit(t *testing.T) {
+	v, a := Split(10, 3, Linear, nil)
+	checkPartition(t, 10, 3, v, a)
+	for i, n := range v {
+		if int(n) != i {
+			t.Errorf("linear victim[%d] = %d", i, n)
+		}
+	}
+	if int(a[0]) != 3 {
+		t.Errorf("first aggressor = %d", a[0])
+	}
+}
+
+func TestInterleavedSplit(t *testing.T) {
+	v, a := Split(10, 5, Interleaved, nil)
+	checkPartition(t, 10, 5, v, a)
+	// 50/50 interleave alternates strictly.
+	for i := 0; i+1 < len(v); i++ {
+		if v[i+1]-v[i] != 2 {
+			t.Errorf("50/50 interleave not alternating: %v", v)
+			break
+		}
+	}
+	// Skewed interleave still spreads: the victim's nodes should not all
+	// be in the first half.
+	v, a = Split(100, 10, Interleaved, nil)
+	checkPartition(t, 100, 10, v, a)
+	inSecondHalf := 0
+	for _, n := range v {
+		if int(n) >= 50 {
+			inSecondHalf++
+		}
+	}
+	if inSecondHalf < 3 {
+		t.Errorf("interleaved victims clustered: %v", v)
+	}
+}
+
+func TestRandomSplit(t *testing.T) {
+	rng := sim.NewRNG(42)
+	v, a := Split(100, 30, Random, rng)
+	checkPartition(t, 100, 30, v, a)
+	// Different seeds give different draws.
+	v2, _ := Split(100, 30, Random, sim.NewRNG(43))
+	same := 0
+	m := make(map[topology.NodeID]bool)
+	for _, n := range v {
+		m[n] = true
+	}
+	for _, n := range v2 {
+		if m[n] {
+			same++
+		}
+	}
+	if same == 30 {
+		t.Error("random split identical across seeds")
+	}
+	// Nil rng must not crash.
+	v3, a3 := Split(10, 4, Random, nil)
+	checkPartition(t, 10, 4, v3, a3)
+}
+
+func TestSplitEdgeCases(t *testing.T) {
+	v, a := Split(5, 0, Linear, nil)
+	checkPartition(t, 5, 0, v, a)
+	v, a = Split(5, 5, Linear, nil)
+	checkPartition(t, 5, 5, v, a)
+	v, a = Split(5, 9, Linear, nil) // clamps
+	checkPartition(t, 5, 5, v, a)
+	v, a = Split(5, -1, Interleaved, nil)
+	checkPartition(t, 5, 0, v, a)
+}
+
+func TestSplitProperty(t *testing.T) {
+	f := func(rawTotal, rawVict uint8, policy uint8) bool {
+		total := int(rawTotal)%200 + 1
+		victims := int(rawVict) % (total + 1)
+		p := Policy(policy % 3)
+		v, a := Split(total, victims, p, sim.NewRNG(uint64(rawTotal)))
+		if len(v) != victims || len(a) != total-victims {
+			return false
+		}
+		seen := make(map[topology.NodeID]bool)
+		for _, n := range v {
+			seen[n] = true
+		}
+		for _, n := range a {
+			if seen[n] {
+				return false
+			}
+			seen[n] = true
+		}
+		return len(seen) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharedSwitches(t *testing.T) {
+	d := topology.MustNew(topology.Config{
+		Groups: 2, SwitchesPerGroup: 4, NodesPerSwitch: 4, GlobalPerPair: 2,
+	})
+	// Linear split at a switch boundary shares no switches.
+	v, a := Split(d.Nodes(), 16, Linear, nil)
+	if got := SharedSwitches(d, v, a); got != 0 {
+		t.Errorf("aligned linear split shares %d switches", got)
+	}
+	// Interleaved 50/50 shares every switch.
+	v, a = Split(d.Nodes(), 16, Interleaved, nil)
+	if got := SharedSwitches(d, v, a); got != d.Switches() {
+		t.Errorf("interleaved shares %d switches, want %d", got, d.Switches())
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Linear.String() != "linear" || Interleaved.String() != "interleaved" ||
+		Random.String() != "random" || Policy(9).String() != "unknown" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, s := range []string{"linear", "interleaved", "random"} {
+		p, err := ParsePolicy(s)
+		if err != nil || p.String() != s {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, p, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy accepted bogus")
+	}
+}

@@ -1,0 +1,162 @@
+package rosetta
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestTileOfGeometry(t *testing.T) {
+	// Every port maps to a tile; each tile handles exactly two ports.
+	count := make(map[Tile]int)
+	for p := 0; p < Ports; p++ {
+		count[TileOf(p)]++
+	}
+	if len(count) != Tiles {
+		t.Fatalf("%d tiles used, want %d", len(count), Tiles)
+	}
+	for tile, n := range count {
+		if n != PortsPerTile {
+			t.Errorf("tile %+v handles %d ports", tile, n)
+		}
+		if tile.Row < 0 || tile.Row >= TileRows || tile.Col < 0 || tile.Col >= TileCols {
+			t.Errorf("tile %+v out of matrix", tile)
+		}
+	}
+}
+
+func TestPortsOfRoundTrip(t *testing.T) {
+	for p := 0; p < Ports; p++ {
+		tile := TileOf(p)
+		a, b := tile.PortsOf()
+		if p != a && p != b {
+			t.Errorf("port %d not in PortsOf(%+v) = %d,%d", p, tile, a, b)
+		}
+	}
+}
+
+func TestTileIndexUnique(t *testing.T) {
+	seen := make(map[int]bool)
+	for r := 0; r < TileRows; r++ {
+		for c := 0; c < TileCols; c++ {
+			i := (Tile{r, c}).Index()
+			if i < 0 || i >= Tiles || seen[i] {
+				t.Fatalf("bad index %d for tile %d,%d", i, r, c)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestTileOfPanics(t *testing.T) {
+	for _, p := range []int{-1, 64, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TileOf(%d) did not panic", p)
+				}
+			}()
+			TileOf(p)
+		}()
+	}
+}
+
+func TestInternalHopsBounds(t *testing.T) {
+	f := func(a, b uint8) bool {
+		in, out := int(a)%Ports, int(b)%Ports
+		h := InternalHops(in, out)
+		return h >= 0 && h <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternalHopsCases(t *testing.T) {
+	// Same tile: ports 0 and 1.
+	if h := InternalHops(0, 1); h != 0 {
+		t.Errorf("same tile hops = %d", h)
+	}
+	// Same row, different tile: 0 and 2.
+	if h := InternalHops(0, 2); h != 1 {
+		t.Errorf("same row hops = %d", h)
+	}
+	// Fig. 1's worked example: port 19 to port 56 goes row bus then
+	// column crossbar: two hops.
+	if h := InternalHops(19, 56); h != 2 {
+		t.Errorf("port 19->56 hops = %d, want 2", h)
+	}
+	// Symmetric.
+	if InternalHops(19, 56) != InternalHops(56, 19) {
+		t.Error("hops not symmetric")
+	}
+}
+
+func TestInternalHopsSameColumn(t *testing.T) {
+	// Ports 0 (tile 0,0) and 16 (tile 1,0) share a column: one hop.
+	if TileOf(0).Col != TileOf(16).Col {
+		t.Fatalf("test assumption broken: %+v %+v", TileOf(0), TileOf(16))
+	}
+	if h := InternalHops(0, 16); h != 1 {
+		t.Errorf("same column hops = %d", h)
+	}
+}
+
+func TestTraversalLatencyDistribution(t *testing.T) {
+	// Pipeline calibration: the crossbar traversal itself averages ~304 ns
+	// so the *measured* Fig. 2 quantity (traversal + extra link's FEC and
+	// propagation, ~46 ns) lands at ~350 ns; all samples stay inside the
+	// truncation window.
+	m := NewLatencyModel(sim.NewRNG(7))
+	rng := sim.NewRNG(8)
+	var sum float64
+	const n = 50000
+	lo, hi := 1e18, 0.0
+	for i := 0; i < n; i++ {
+		in, out := rng.Intn(Ports), rng.Intn(Ports)
+		l := m.Traversal(in, out).Nanoseconds()
+		sum += l
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	mean := sum / n
+	if mean < 294 || mean > 314 {
+		t.Errorf("mean traversal = %.1f ns, want ~304", mean)
+	}
+	if lo < 270 || hi > 342 {
+		t.Errorf("traversal range [%.0f, %.0f] outside [270, 342]", lo, hi)
+	}
+	// The measured Fig. 2 quantity: traversal + FEC (30) + copper (13).
+	if meas := mean + 30 + 13; meas < 337 || meas > 357 {
+		t.Errorf("measured 2-hop minus 1-hop = %.1f ns, want ~350", meas)
+	}
+}
+
+func TestMeanTraversalDeterministic(t *testing.T) {
+	if MeanTraversal(0, 1) != 286*sim.Nanosecond {
+		t.Errorf("same-tile mean = %v", MeanTraversal(0, 1))
+	}
+	if MeanTraversal(19, 56) != 306*sim.Nanosecond {
+		t.Errorf("two-hop mean = %v", MeanTraversal(19, 56))
+	}
+}
+
+func TestCrossbarNames(t *testing.T) {
+	want := map[Crossbar]string{
+		RequestXbar: "request", GrantXbar: "grant", DataXbar: "data",
+		CreditXbar: "credit", AckXbar: "ack", Crossbar(99): "unknown",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if NumCrossbars != 5 {
+		t.Errorf("NumCrossbars = %d", NumCrossbars)
+	}
+}

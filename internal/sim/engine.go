@@ -1,0 +1,134 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events are ordered by time; ties are broken
+// by insertion order so the simulation is fully deterministic.
+type Event struct {
+	At  Time
+	Fn  func()
+	seq int64
+	idx int // heap index, -1 when not queued
+}
+
+// Cancelled reports whether the event has been removed from the queue.
+func (e *Event) Cancelled() bool { return e.idx < 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; the whole simulator runs in one goroutine, which on the
+// target (CPU-bound, deterministic replay) is both simplest and fastest.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    int64
+	nsteps int64
+}
+
+// NewEngine returns an engine positioned at the simulation epoch.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far (useful for perf
+// accounting in benchmarks).
+func (e *Engine) Steps() int64 { return e.nsteps }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at absolute time at. Scheduling in the past
+// (before Now) is clamped to Now; this happens only from callbacks that
+// compute a zero/negative delay and is harmless because tie-breaking keeps
+// execution order deterministic. The returned event may be cancelled.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run delay after the current time.
+func (e *Engine) After(delay Time, fn func()) *Event {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel removes a queued event. Cancelling an already-run or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -1
+}
+
+// Step runs the earliest event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.nsteps++
+	ev.Fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with At <= deadline, then advances the clock to
+// the deadline (if the simulation got that far). Events scheduled later
+// remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunWhile executes events while cond() holds and the queue is non-empty.
+// cond is checked before each event.
+func (e *Engine) RunWhile(cond func() bool) {
+	for len(e.queue) > 0 && cond() {
+		e.Step()
+	}
+}

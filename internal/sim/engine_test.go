@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Nanosecond != 1000*Picosecond {
+		t.Fatalf("nanosecond = %d ps", int64(Nanosecond))
+	}
+	if Second != 1e12*Picosecond {
+		t.Fatalf("second = %d ps", int64(Second))
+	}
+	if got := FromNanoseconds(350).Nanoseconds(); got != 350 {
+		t.Errorf("FromNanoseconds round trip = %v", got)
+	}
+	if got := FromMicroseconds(2.13); got != 2130*Nanosecond {
+		t.Errorf("FromMicroseconds(2.13) = %v", got)
+	}
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{350 * Nanosecond, "350ns"},
+		{2130 * Nanosecond, "2.13us"},
+		{500 * Picosecond, "500ps"},
+		{3 * Millisecond, "3ms"},
+		{2 * Second, "2s"},
+		{-5 * Nanosecond, "-5ns"},
+		{Forever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestSerializationTime(t *testing.T) {
+	// One byte at 200 Gb/s is exactly 40 ps.
+	if got := SerializationTime(1, 200e9); got != 40*Picosecond {
+		t.Errorf("1B @200Gb/s = %v, want 40ps", got)
+	}
+	// A 4 KiB packet at 200 Gb/s is 163.84 ns, rounded up to the next ps.
+	if got := SerializationTime(4096, 200e9); got != Time(163840) {
+		t.Errorf("4KiB @200Gb/s = %d ps, want 163840", int64(got))
+	}
+	// 100 Gb/s doubles it.
+	if got := SerializationTime(4096, 100e9); got != Time(327680) {
+		t.Errorf("4KiB @100Gb/s = %d ps, want 327680", int64(got))
+	}
+	if got := SerializationTime(0, 100e9); got != 0 {
+		t.Errorf("0 bytes = %v, want 0", got)
+	}
+	if got := SerializationTime(100, 0); got != 0 {
+		t.Errorf("0 bandwidth = %v, want 0", got)
+	}
+}
+
+func TestSerializationTimeMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int64(a), int64(b)
+		lo, hi := min(x, y), max(x, y)
+		return SerializationTime(lo, 200e9) <= SerializationTime(hi, 200e9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*Nanosecond, func() { order = append(order, 3) })
+	e.Schedule(10*Nanosecond, func() { order = append(order, 1) })
+	e.Schedule(20*Nanosecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30*Nanosecond {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*Nanosecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order = %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(10*Nanosecond, func() { ran = true })
+	e.Cancel(ev)
+	e.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if !ev.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+}
+
+func TestEngineCancelMiddle(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	evs := make([]*Event, 20)
+	for i := range evs {
+		i := i
+		evs[i] = e.Schedule(Time(i)*Nanosecond, func() { got = append(got, i) })
+	}
+	e.Cancel(evs[7])
+	e.Cancel(evs[13])
+	e.Run()
+	if len(got) != 18 {
+		t.Fatalf("got %d events, want 18", len(got))
+	}
+	for _, v := range got {
+		if v == 7 || v == 13 {
+			t.Fatalf("cancelled event %d ran", v)
+		}
+	}
+}
+
+func TestEngineReentrantScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(1*Nanosecond, tick)
+		}
+	}
+	e.After(0, tick)
+	e.Run()
+	if count != 100 {
+		t.Errorf("count = %d", count)
+	}
+	if e.Now() != 99*Nanosecond {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineSchedulePastClamps(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.Schedule(10*Nanosecond, func() {
+		e.Schedule(5*Nanosecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 10*Nanosecond {
+		t.Errorf("past event ran at %v, want clamp to 10ns", at)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at * Microsecond
+		e.Schedule(at, func() { ran = append(ran, at) })
+	}
+	e.RunUntil(3 * Microsecond)
+	if len(ran) != 3 {
+		t.Fatalf("ran %d events, want 3", len(ran))
+	}
+	if e.Now() != 3*Microsecond {
+		t.Errorf("Now = %v", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	// RunUntil past the queue advances the clock.
+	e.RunUntil(10 * Microsecond)
+	if e.Now() != 10*Microsecond || e.Pending() != 0 {
+		t.Errorf("Now = %v Pending = %d", e.Now(), e.Pending())
+	}
+}
+
+func TestEngineRunWhile(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	for i := 0; i < 50; i++ {
+		e.Schedule(Time(i)*Nanosecond, func() { n++ })
+	}
+	e.RunWhile(func() bool { return n < 10 })
+	if n != 10 {
+		t.Errorf("n = %d", n)
+	}
+}
+
+func TestEngineStepsCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Steps() != 7 {
+		t.Errorf("Steps = %d", e.Steps())
+	}
+}
+
+// Property: events always execute in non-decreasing time order, whatever
+// order they are scheduled in.
+func TestEngineHeapProperty(t *testing.T) {
+	f := func(delays []uint32) bool {
+		e := NewEngine()
+		var times []Time
+		for _, d := range delays {
+			at := Time(d % 1e6)
+			e.Schedule(at, func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds agree %d/1000 times", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(2)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) hit %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGNormalTruncation(t *testing.T) {
+	r := NewRNG(4)
+	lo, hi := 300*Nanosecond, 400*Nanosecond
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Normal(350*Nanosecond, 15*Nanosecond, lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("Normal out of [%v,%v]: %v", lo, hi, v)
+		}
+		sum += v.Nanoseconds()
+	}
+	mean := sum / n
+	if math.Abs(mean-350) > 2 {
+		t.Errorf("mean = %.2f ns, want ~350", mean)
+	}
+}
+
+func TestRNGExponentialMean(t *testing.T) {
+	r := NewRNG(5)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exponential(1000 * Nanosecond))
+	}
+	mean := sum / n / float64(Nanosecond)
+	if math.Abs(mean-1000) > 30 {
+		t.Errorf("exponential mean = %.1f ns, want ~1000", mean)
+	}
+}
+
+func TestRNGLogNormalMedian(t *testing.T) {
+	r := NewRNG(6)
+	const n = 30001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(r.LogNormal(Millisecond, 0.5))
+	}
+	// crude median check
+	lt := 0
+	for _, v := range vals {
+		if v < float64(Millisecond) {
+			lt++
+		}
+	}
+	frac := float64(lt) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("fraction below median = %.3f", frac)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("split streams agree %d/1000 times", same)
+	}
+}

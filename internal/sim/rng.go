@@ -1,0 +1,149 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, seedable pseudo-random generator
+// (xoshiro256** with a SplitMix64 seeder). Each simulated component owns
+// its own RNG so that experiments are reproducible regardless of the order
+// in which components draw numbers.
+type RNG struct {
+	s [4]uint64
+	// cached second normal variate from the Box-Muller transform
+	haveGauss bool
+	gauss     float64
+}
+
+// NewRNG returns a generator seeded from the given value. Distinct seeds
+// give statistically independent streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// SplitMix64 to spread the seed across the state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		r.s[i] = z
+	}
+	// xoshiro must not be seeded with all zeros; SplitMix64 of any seed
+	// cannot produce four zero words, but be defensive anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives an independent child generator; useful for giving each
+// component its own stream from one experiment seed.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform variate in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a random permutation of [0, n), Fisher-Yates shuffled.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.haveGauss = true
+	return u * f
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation, as a Time, truncated at lo and hi. Used e.g. for the Rosetta
+// traversal latency whose measured distribution lies in [300, 400] ns.
+func (r *RNG) Normal(mean, stddev, lo, hi Time) Time {
+	for i := 0; i < 64; i++ {
+		v := Time(math.Round(float64(mean) + r.NormFloat64()*float64(stddev)))
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	// Pathological parameters: clamp the mean.
+	if mean < lo {
+		return lo
+	}
+	if mean > hi {
+		return hi
+	}
+	return mean
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// Exponential returns an exponentially distributed duration with the given
+// mean.
+func (r *RNG) Exponential(mean Time) Time {
+	return Time(math.Round(float64(mean) * r.ExpFloat64()))
+}
+
+// LogNormal returns a log-normally distributed duration whose underlying
+// normal has the given mu and sigma (of the log, in natural units of mean).
+// It is used for the heavy-tailed service times of the Tailbench proxies.
+func (r *RNG) LogNormal(median Time, sigma float64) Time {
+	v := float64(median) * math.Exp(sigma*r.NormFloat64())
+	if v > float64(math.MaxInt64)/2 {
+		v = float64(math.MaxInt64) / 2
+	}
+	return Time(math.Round(v))
+}

@@ -1,0 +1,110 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// used by every subsystem of the Slingshot reproduction: an event scheduler
+// with picosecond-resolution virtual time, and a seedable random number
+// generator with the distributions the models need.
+//
+// All simulated time is expressed as sim.Time, an integer count of
+// picoseconds. Picoseconds (rather than nanoseconds) let link serialization
+// times be represented exactly: one byte on a 200 Gb/s link takes 40 ps, and
+// one byte on a 100 Gb/s link takes 80 ps, both integers.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point in (or duration of) simulated time, in picoseconds.
+// The zero value is the simulation epoch. With int64 picoseconds the
+// representable range exceeds 106 days of simulated time, far beyond any
+// experiment in this repository.
+type Time int64
+
+// Convenient duration units, all exactly representable.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Forever is a sentinel time later than any event a simulation schedules.
+const Forever Time = math.MaxInt64
+
+// Nanoseconds returns t as a floating-point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromNanoseconds converts a floating-point nanosecond count to a Time,
+// rounding to the nearest picosecond.
+func FromNanoseconds(ns float64) Time {
+	return Time(math.Round(ns * float64(Nanosecond)))
+}
+
+// FromMicroseconds converts a floating-point microsecond count to a Time.
+func FromMicroseconds(us float64) Time {
+	return Time(math.Round(us * float64(Microsecond)))
+}
+
+// FromSeconds converts a floating-point second count to a Time.
+func FromSeconds(s float64) Time {
+	return Time(math.Round(s * float64(Second)))
+}
+
+// String formats the time with an adaptive unit, e.g. "350ns" or "2.13us".
+func (t Time) String() string {
+	switch {
+	case t == Forever:
+		return "forever"
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return trimUnit(t.Nanoseconds(), "ns")
+	case t < Millisecond:
+		return trimUnit(t.Microseconds(), "us")
+	case t < Second:
+		return trimUnit(t.Milliseconds(), "ms")
+	default:
+		return trimUnit(t.Seconds(), "s")
+	}
+}
+
+func trimUnit(v float64, unit string) string {
+	s := fmt.Sprintf("%.3f", v)
+	// Trim trailing zeros and a dangling decimal point.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s + unit
+}
+
+// SerializationTime returns how long it takes to put `bytes` on a wire of
+// the given bandwidth (bits per second). It rounds up to the next
+// picosecond so that a positive payload always takes positive time.
+func SerializationTime(bytes int64, bitsPerSecond int64) Time {
+	if bytes <= 0 || bitsPerSecond <= 0 {
+		return 0
+	}
+	// time_ps = bytes*8 / (bits/s) * 1e12 = bytes * 8e12 / bps
+	const psPerSecond = 1_000_000_000_000
+	num := bytes * 8 * psPerSecond
+	t := num / bitsPerSecond
+	if num%bitsPerSecond != 0 {
+		t++
+	}
+	return Time(t)
+}

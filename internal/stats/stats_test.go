@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanMedian(t *testing.T) {
+	s := FromSlice([]float64{1, 2, 3, 4, 100})
+	if got := s.Mean(); got != 22 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := s.Median(); got != 3 {
+		t.Errorf("Median = %v", got)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	s := NewSample(0)
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Median()) ||
+		!math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Error("empty sample should give NaN")
+	}
+	if s.Converged(0.05) {
+		t.Error("empty sample cannot be converged")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := FromSlice([]float64{10, 20, 30, 40})
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {0.25, 17.5}, {0.75, 32.5},
+		{-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); !almost(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := FromSlice(xs)
+		qa := math.Mod(math.Abs(a), 1)
+		qb := math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return s.Quantile(qa) <= s.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileWithinRange(t *testing.T) {
+	f := func(raw []float64, q float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := FromSlice(xs)
+		qq := math.Mod(math.Abs(q), 1)
+		v := s.Quantile(qq)
+		return v >= s.Min() && v <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	s := FromSlice([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got := s.Variance(); !almost(got, 32.0/7.0, 1e-9) {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := s.StdDev(); !almost(got, math.Sqrt(32.0/7.0), 1e-9) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	// 1..100 plus an extreme outlier: whiskers must exclude the outlier.
+	s := NewSample(101)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	s.Add(10000)
+	b := s.Box()
+	if b.Median < 50 || b.Median > 52 {
+		t.Errorf("median = %v", b.Median)
+	}
+	if b.Q1 >= b.Median || b.Median >= b.Q3 {
+		t.Errorf("quartile ordering: %+v", b)
+	}
+	if b.L >= 10000 {
+		t.Errorf("L should exclude the outlier: %v", b.L)
+	}
+	if b.S != 1 {
+		t.Errorf("S = %v, want 1", b.S)
+	}
+}
+
+func TestBoxStatsInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) < 4 {
+			return true
+		}
+		s := FromSlice(xs)
+		b := s.Box()
+		// Quartiles are ordered; whiskers are ordered, bracket the box
+		// loosely, and stay within the data range. (S <= Q1 does not hold
+		// in general because quartiles are interpolated while whiskers are
+		// actual samples.)
+		return b.Q1 <= b.Median && b.Median <= b.Q3 &&
+			b.S <= b.L && b.S >= s.Min() && b.L <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianCIBrackets(t *testing.T) {
+	s := NewSample(1000)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	lo, hi := s.MedianCI()
+	med := s.Median()
+	if lo > med || hi < med {
+		t.Errorf("CI [%v,%v] does not bracket median %v", lo, hi, med)
+	}
+	// With 1000 uniform points the CI should be reasonably tight.
+	if hi-lo > 100 {
+		t.Errorf("CI too wide: [%v,%v]", lo, hi)
+	}
+}
+
+func TestConvergedTightSample(t *testing.T) {
+	s := NewSample(100)
+	for i := 0; i < 100; i++ {
+		s.Add(100 + float64(i%3)) // nearly constant
+	}
+	if !s.Converged(0.05) {
+		t.Error("tight sample should converge")
+	}
+}
+
+func TestConvergedWideSample(t *testing.T) {
+	s := NewSample(10)
+	for i := 0; i < 10; i++ {
+		s.Add(math.Pow(10, float64(i)))
+	}
+	if s.Converged(0.05) {
+		t.Error("wildly spread sample should not converge at n=10")
+	}
+}
+
+func TestConvergedNeedsMinimumN(t *testing.T) {
+	s := FromSlice([]float64{5, 5, 5})
+	if s.Converged(0.05) {
+		t.Error("n=3 should not converge regardless of spread")
+	}
+}
+
+func TestCongestionImpact(t *testing.T) {
+	if got := CongestionImpact(10, 25); got != 2.5 {
+		t.Errorf("C = %v", got)
+	}
+	if got := CongestionImpact(10, 9); got != 1 {
+		t.Errorf("C should clamp to 1, got %v", got)
+	}
+	if got := CongestionImpact(0, 5); !math.IsNaN(got) {
+		t.Errorf("C with zero isolated time = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	h.Add(-5)
+	h.Add(100)
+	if h.N != 102 || h.Under != 1 || h.Over != 1 {
+		t.Errorf("N=%d Under=%d Over=%d", h.N, h.Under, h.Over)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Counts[i] != 10 {
+			t.Errorf("bucket %d = %d", i, h.Counts[i])
+		}
+		want := float64(i) + 0.5
+		if got := h.BucketCenter(i); !almost(got, want, 1e-9) {
+			t.Errorf("center %d = %v", i, got)
+		}
+	}
+	if got := h.Density(0); !almost(got, 10.0/102, 1e-9) {
+		t.Errorf("Density = %v", got)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(10) // exactly Hi lands in the last bucket
+	if h.Counts[4] != 1 {
+		t.Errorf("Hi edge bucket = %v", h.Counts)
+	}
+	h2 := NewHistogram(0, 1, 0) // degenerate bucket count
+	h2.Add(0.5)
+	if len(h2.Counts) != 1 || h2.Counts[0] != 1 {
+		t.Errorf("degenerate histogram = %+v", h2)
+	}
+}
+
+func TestSampleSortStability(t *testing.T) {
+	// Quantile must not corrupt subsequent Adds.
+	s := FromSlice([]float64{3, 1, 2})
+	_ = s.Median()
+	s.Add(0)
+	if got := s.Min(); got != 0 {
+		t.Errorf("Min after Add = %v", got)
+	}
+	vals := append([]float64(nil), s.Values()...)
+	sort.Float64s(vals)
+	if vals[0] != 0 || vals[3] != 3 {
+		t.Errorf("values = %v", vals)
+	}
+}

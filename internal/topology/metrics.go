@@ -1,0 +1,168 @@
+package topology
+
+// This file holds the closed-form network capacity arithmetic the paper
+// states in §II-B (Fig. 3) and §II-G (Fig. 6), plus the configurations of
+// the three measured systems.
+
+// LinkBits is the per-direction bandwidth of a Slingshot fabric link
+// (bits per second).
+const LinkBits int64 = 200e9
+
+// AriesLinkBits approximates an Aries fabric link (§IV-A quotes a peak
+// injection of 81.6 Gb/s per node; Aries links run at ~4.7+5.25 GB/s, we
+// use ~93.6 Gb/s for fabric links, enough for the relative study).
+const AriesLinkBits int64 = 93.6e9
+
+// MaxSystemSpec reproduces the Fig. 3 arithmetic of the largest
+// 1-dimensional Dragonfly buildable from 64-port Rosetta switches.
+type MaxSystemSpec struct {
+	EndpointsPerSwitch int // 16
+	LocalPorts         int // 31 (fully connected 32-switch group)
+	GlobalPorts        int // 17
+	SwitchesPerGroup   int // 32
+	NodesPerGroup      int // 512
+	GlobalLinksPer     int // 544 per group
+	Groups             int // 545
+	Endpoints          int // 279040
+	AddressableGroups  int // 511 (addressing limit)
+	AddressableNodes   int // 261632
+}
+
+// MaxSystem returns the largest-system constants, derived (not hardcoded)
+// from the Rosetta radix so the derivation itself is under test.
+func MaxSystem() MaxSystemSpec {
+	const radix = RosettaRadix // 64
+	spec := MaxSystemSpec{EndpointsPerSwitch: 16}
+	interSwitch := radix - spec.EndpointsPerSwitch // 48 ports
+	// The paper's largest system: 32 switches per group, fully connected
+	// needs 31 local ports, leaving 17 global ports per switch.
+	spec.SwitchesPerGroup = 32
+	spec.LocalPorts = spec.SwitchesPerGroup - 1
+	spec.GlobalPorts = interSwitch - spec.LocalPorts
+	spec.NodesPerGroup = spec.SwitchesPerGroup * spec.EndpointsPerSwitch
+	spec.GlobalLinksPer = spec.SwitchesPerGroup * spec.GlobalPorts
+	// Fully connected inter-group graph with one link per pair: a group's
+	// 544 global links reach 544 other groups.
+	spec.Groups = spec.GlobalLinksPer + 1
+	spec.Endpoints = spec.Groups * spec.NodesPerGroup
+	spec.AddressableGroups = 511
+	spec.AddressableNodes = spec.AddressableGroups * spec.NodesPerGroup
+	return spec
+}
+
+// ShandyConfig models the 1024-node Slingshot system: eight groups of 128
+// nodes; every pair of groups is joined by 8 global links, i.e. 56 global
+// links per group (matching §II-G: 56*8 = 448 global links system-wide).
+func ShandyConfig() Config {
+	return Config{
+		Groups:           8,
+		SwitchesPerGroup: 8,
+		NodesPerSwitch:   16,
+		GlobalPerPair:    8,
+	}
+}
+
+// MalbecConfig models the 484-node Slingshot system: four groups of up to
+// 128 nodes, every pair of groups joined by 48 global links (§III).
+// We model the full 4x128 = 512 endpoints; experiments use the first 484.
+func MalbecConfig() Config {
+	return Config{
+		Groups:           4,
+		SwitchesPerGroup: 8,
+		NodesPerSwitch:   16,
+		GlobalPerPair:    48,
+	}
+}
+
+// CrystalConfig models the 698-node Aries system: two groups of up to 384
+// nodes. Aries attaches 4 nodes per router; a full Aries group has 96
+// routers arranged as 6 chassis of 16 (a 6 x 16 grid with all-to-all
+// backplane links along rows and all-to-all cables along columns), so
+// intra-group minimal paths take up to two hops through shared
+// intermediate links — essential to how congestion trees on Aries reach
+// other jobs' traffic inside a group.
+func CrystalConfig() Config {
+	return Config{
+		Groups:           2,
+		SwitchesPerGroup: 96,
+		NodesPerSwitch:   4,
+		GlobalPerPair:    64,
+		Shape:            Grid2D,
+		GridRows:         6,
+	}
+}
+
+// ScaledConfig returns a Dragonfly with approximately n nodes that keeps
+// the Shandy shape (8 groups when possible, 16 nodes/switch) for reduced-
+// scale experiments. It always returns a valid config covering >= n nodes.
+func ScaledConfig(n int) Config {
+	groups := 8
+	if n < 64 {
+		groups = 2
+	} else if n < 256 {
+		groups = 4
+	}
+	nodesPerSwitch := 16
+	if n < 32 {
+		nodesPerSwitch = 4
+	}
+	perGroup := (n + groups - 1) / groups
+	spg := (perGroup + nodesPerSwitch - 1) / nodesPerSwitch
+	if spg < 2 {
+		spg = 2
+	}
+	return Config{
+		Groups:           groups,
+		SwitchesPerGroup: spg,
+		NodesPerSwitch:   nodesPerSwitch,
+		GlobalPerPair:    maxInt(1, spg),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BisectionLinks returns the number of global links crossing the even
+// bisection of the system (half the groups on each side), as in §II-G:
+// for Shandy, 4*4*8 = 128 links.
+func (d *Dragonfly) BisectionLinks() int {
+	half := d.Cfg.Groups / 2
+	n := 0
+	for g1 := 0; g1 < half; g1++ {
+		for g2 := half; g2 < d.Cfg.Groups; g2++ {
+			n += len(d.globalOut[g1][g2])
+		}
+	}
+	return n
+}
+
+// BisectionPeakBits returns the theoretical peak bisection bandwidth in
+// bits/s, counting both directions of every crossing link as the paper
+// does in §II-G ("we are sending traffic in both directions"). For Shandy,
+// 128 links * 200 Gb/s * 2 = 51.2 Tb/s = 6.4 TB/s; Fig. 6's axis is in
+// TB/s, and the paper's "6.4Tb/s" text is the same quantity in bytes.
+func (d *Dragonfly) BisectionPeakBits(linkBits int64) int64 {
+	return int64(d.BisectionLinks()) * linkBits * 2
+}
+
+// AlltoallPeakBits returns the theoretical peak all-to-all bandwidth in
+// bits/s per §II-G: with G groups, each node sends (G-1)/G of its traffic
+// out of its group, so aggregate throughput is bounded by
+// G/(G-1) * (global-link capacity counting both directions). For Shandy:
+// 8/7 * 224 links * 2 dirs * 200 Gb/s = 102.4 Tb/s = 12.8 TB/s, matching
+// the paper's "8/7 * 448 * 200Gb/s" (the paper's 448 counts each physical
+// link once per attached group, i.e. both directions).
+func (d *Dragonfly) AlltoallPeakBits(linkBits int64) int64 {
+	total := 0
+	for g1 := 0; g1 < d.Cfg.Groups; g1++ {
+		for g2 := g1 + 1; g2 < d.Cfg.Groups; g2++ {
+			total += len(d.globalOut[g1][g2])
+		}
+	}
+	g := int64(d.Cfg.Groups)
+	return g * int64(total) * 2 * linkBits / (g - 1)
+}

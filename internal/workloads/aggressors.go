@@ -1,0 +1,159 @@
+// Package workloads implements the traffic generators of the paper's
+// evaluation (§III): the GPCNet-style congestion aggressors (incast for
+// endpoint congestion, all-to-all for intermediate congestion, both with
+// 128 KiB messages and optional bursts), the ember microbenchmark patterns
+// (halo3d, sweep3d, incast), proxies for the five HPC applications and the
+// four Tailbench datacenter applications of Table I, and the victim
+// measurement protocol (max-across-ranks per iteration, run until the 95%
+// CI of the median is within 5%).
+package workloads
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// AggressorMsgBytes is the congestor message size used throughout §III-A,
+// chosen from characterization studies showing ~1e5-byte average messages.
+const AggressorMsgBytes = 128 * 1024
+
+// Aggressor is a continuously running congestion generator.
+type Aggressor struct {
+	stopped bool
+	// InFlight counts currently outstanding operations (diagnostics).
+	InFlight int
+}
+
+// Stop makes the aggressor wind down: outstanding operations complete but
+// nothing new is posted.
+func (a *Aggressor) Stop() { a.stopped = true }
+
+// incastGroupSize sets the many-to-one fan-in of each incast group. Groups
+// are *strided* across the aggressor's node list (group g holds every G-th
+// node), exactly so each group's flows traverse the whole fabric — GPCNet's
+// congestor spreads its source/target pairs over the allocation the same
+// way; contiguous groups would keep all congestion inside one switch
+// neighbourhood.
+const incastGroupSize = 16
+
+// incastStride returns the strided node subsets for a job.
+func incastStride(j *mpi.Job, groupSize int) [][]int {
+	n := j.Size()
+	g := (n + groupSize - 1) / groupSize
+	if g < 1 {
+		g = 1
+	}
+	sets := make([][]int, g)
+	for r := 0; r < n; r++ {
+		sets[r%g] = append(sets[r%g], r)
+	}
+	return sets
+}
+
+// StartIncast launches the endpoint-congestion aggressor: within each
+// strided group, every rank repeatedly MPI_Puts msgBytes to the group's
+// first rank, keeping `window` operations outstanding per rank.
+func StartIncast(j *mpi.Job, msgBytes int64, window int) *Aggressor {
+	if window <= 0 {
+		window = 2
+	}
+	a := &Aggressor{}
+	for _, set := range incastStride(j, incastGroupSize) {
+		if len(set) < 2 {
+			continue
+		}
+		target := set[0]
+		for _, r := range set[1:] {
+			r := r
+			var post func()
+			post = func() {
+				if a.stopped {
+					a.InFlight--
+					return
+				}
+				j.Put(r, target, msgBytes, func(sim.Time) { post() })
+			}
+			for w := 0; w < window; w++ {
+				a.InFlight++
+				post()
+			}
+		}
+	}
+	return a
+}
+
+// alltoallGroupSize bounds the sub-communicator size of the intermediate
+// congestor so one round stays tractable while still loading the fabric.
+const alltoallGroupSize = 8
+
+// StartAlltoall launches the intermediate-congestion aggressor: strided
+// groups of ranks run back-to-back MPI_Sendrecv-based all-to-alls of
+// msgBytes, so every group's exchanges cross the full breadth of the
+// fabric.
+func StartAlltoall(j *mpi.Job, msgBytes int64) *Aggressor {
+	a := &Aggressor{}
+	for _, set := range incastStride(j, alltoallGroupSize) {
+		if len(set) < 2 {
+			continue
+		}
+		sub := subJobOf(j, set)
+		var round func()
+		round = func() {
+			if a.stopped {
+				a.InFlight--
+				return
+			}
+			sub.Alltoall(msgBytes, func(sim.Time) { round() })
+		}
+		a.InFlight++
+		round()
+	}
+	return a
+}
+
+// StartBurstyIncast is the Fig. 12 congestor: bursts of burstSize messages
+// per rank followed by an idle gap, repeated until stopped.
+func StartBurstyIncast(j *mpi.Job, msgBytes int64, burstSize int, gap sim.Time) *Aggressor {
+	if burstSize <= 0 {
+		burstSize = 1
+	}
+	a := &Aggressor{}
+	eng := j.Net.Eng
+	for _, set := range incastStride(j, incastGroupSize) {
+		if len(set) < 2 {
+			continue
+		}
+		target := set[0]
+		for _, r := range set[1:] {
+			r := r
+			var burst func(left int)
+			burst = func(left int) {
+				if a.stopped {
+					a.InFlight--
+					return
+				}
+				if left == 0 {
+					eng.After(gap, func() { burst(burstSize) })
+					return
+				}
+				j.Put(r, target, msgBytes, func(sim.Time) { burst(left - 1) })
+			}
+			a.InFlight++
+			burst(burstSize)
+		}
+	}
+	return a
+}
+
+// subJobOf views an arbitrary rank subset of j as its own communicator,
+// one rank per selected rank's node.
+func subJobOf(j *mpi.Job, ranks []int) *mpi.Job {
+	nodes := make([]topology.NodeID, len(ranks))
+	for i, r := range ranks {
+		nodes[i] = j.Node(r)
+	}
+	return mpi.NewJob(j.Net, nodes, mpi.JobOpts{
+		PPN: 1, Stack: j.Stack, Class: j.Class, Tag: j.Tag,
+	})
+}

@@ -1,0 +1,184 @@
+package workloads
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// App is a proxy for one of the Table I applications: a loop of computation
+// phases and the application's characteristic communication pattern. The
+// compute/communication ratio and message-size mix are what determine how
+// much congestion hurts each application (§III-A), so they are the
+// calibrated quantities here.
+type App struct {
+	Name string
+	// HPC is true for the HPC applications, false for datacenter (DC).
+	HPC bool
+	// PowerOfTwoOnly marks apps that only run on power-of-two node counts
+	// (MILC and HPCG, the N.A. cells of Fig. 11).
+	PowerOfTwoOnly bool
+	// Iterate performs one application iteration and calls done when the
+	// slowest rank finishes it.
+	Iterate func(j *mpi.Job, rng *sim.RNG, done func())
+}
+
+// compute schedules a computation phase of roughly d with a little
+// imbalance, then calls next.
+func compute(j *mpi.Job, rng *sim.RNG, d sim.Time, next func()) {
+	jit := 1 + 0.05*(rng.Float64()-0.5)
+	j.Net.Eng.After(sim.Time(float64(d)*jit), next)
+}
+
+// MILC: su3_rmd QCD kernel — 4D grid decomposition, point-to-point
+// neighbour halo exchanges plus global reductions.
+func MILC() App {
+	return App{
+		Name: "MILC", HPC: true, PowerOfTwoOnly: true,
+		Iterate: func(j *mpi.Job, rng *sim.RNG, done func()) {
+			compute(j, rng, 320*sim.Microsecond, func() {
+				RunHalo3D(j, 16*1024, func() {
+					j.Allreduce(8, func(sim.Time) { done() })
+				})
+			})
+		},
+	}
+}
+
+// HPCG: preconditioned CG — stencil halo exchanges and two dot-product
+// reductions per iteration.
+func HPCG() App {
+	return App{
+		Name: "HPCG", HPC: true, PowerOfTwoOnly: true,
+		Iterate: func(j *mpi.Job, rng *sim.RNG, done func()) {
+			compute(j, rng, 220*sim.Microsecond, func() {
+				RunHalo3D(j, 8*1024, func() {
+					j.Allreduce(8, func(sim.Time) {
+						j.Allreduce(8, func(sim.Time) { done() })
+					})
+				})
+			})
+		},
+	}
+}
+
+// LAMMPS: molecular dynamics — neighbour exchanges of mid-size messages
+// plus a reduction; the paper calls out blocking and non-blocking
+// point-to-point between nodes at different distances.
+func LAMMPS() App {
+	return App{
+		Name: "LAMMPS", HPC: true,
+		Iterate: func(j *mpi.Job, rng *sim.RNG, done func()) {
+			compute(j, rng, 450*sim.Microsecond, func() {
+				RunHalo3D(j, 64*1024, func() {
+					j.Allreduce(8, func(sim.Time) { done() })
+				})
+			})
+		},
+	}
+}
+
+// FFT: 3D FFT — the transposes are all-to-alls; broadcasts and scatters
+// appear at setup (amortized away here).
+func FFT() App {
+	return App{
+		Name: "FFT", HPC: true,
+		Iterate: func(j *mpi.Job, rng *sim.RNG, done func()) {
+			per := int64(512 * 1024 / maxi(1, j.Size())) // transpose slab per pair
+			if per < 64 {
+				per = 64
+			}
+			compute(j, rng, 120*sim.Microsecond, func() {
+				j.Alltoall(per, func(sim.Time) {
+					j.Alltoall(per, func(sim.Time) { done() })
+				})
+			})
+		},
+	}
+}
+
+// ResnetProxy: the Deep500 residual-network proxy — large non-blocking
+// gradient allreduces overlapped with long compute (§Table I).
+func ResnetProxy() App {
+	return App{
+		Name: "resnet-proxy", HPC: true,
+		Iterate: func(j *mpi.Job, rng *sim.RNG, done func()) {
+			compute(j, rng, 1800*sim.Microsecond, func() {
+				j.Allreduce(1<<20, func(sim.Time) { done() })
+			})
+		},
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// HPCApps returns the five HPC victim applications of Table I.
+func HPCApps() []App {
+	return []App{MILC(), HPCG(), LAMMPS(), FFT(), ResnetProxy()}
+}
+
+// tailbenchApp builds a single-client single-server latency-critical
+// application: the client sends a request, the server runs a heavy-tailed
+// service time, then replies; done fires when the response lands back at
+// the client. Congestion hurts exactly in proportion to how much of the
+// end-to-end time is network (§III-A: Sphinx degrades least because its
+// communication-to-computation ratio is lowest).
+func tailbenchApp(name string, service sim.Time, sigma float64, reqBytes, respBytes int64) App {
+	return App{
+		Name: name, HPC: false,
+		Iterate: func(j *mpi.Job, rng *sim.RNG, done func()) {
+			client, server := 0, j.Size()-1
+			j.Send(client, server, reqBytes, func(sim.Time) {
+				j.Net.Eng.After(rng.LogNormal(service, sigma), func() {
+					j.Send(server, client, respBytes, func(sim.Time) { done() })
+				})
+			})
+		},
+	}
+}
+
+// Silo: in-memory OLTP — microsecond-scale transactions; the fastest
+// Tailbench app and hence the most congestion-sensitive.
+func Silo() App { return tailbenchApp("silo", 180*sim.Microsecond, 0.25, 512, 2048) }
+
+// Sphinx: speech recognition — seconds of compute per query; the least
+// congestion-sensitive.
+func Sphinx() App { return tailbenchApp("sphinx", 1300*sim.Millisecond, 0.20, 4096, 1024) }
+
+// Xapian: search over a Wikipedia index — millisecond-scale queries.
+func Xapian() App { return tailbenchApp("xapian", 3800*sim.Microsecond, 0.35, 1024, 16*1024) }
+
+// ImgDNN: handwriting recognition by DNN autoencoder — ~1 ms inferences.
+func ImgDNN() App { return tailbenchApp("img-dnn", 950*sim.Microsecond, 0.30, 8*1024, 512) }
+
+// DCApps returns the four Tailbench datacenter applications of Table I.
+func DCApps() []App { return []App{Silo(), Sphinx(), Xapian(), ImgDNN()} }
+
+// DCAppsScaled returns the Tailbench proxies with service times multiplied
+// by scale. The congestion grids run with scale = 0.01 so that Sphinx's
+// seconds-long queries stay simulable while the property that drives
+// Fig. 8/9 — the ordering of communication-to-computation ratios across
+// the four apps — is preserved exactly (see EXPERIMENTS.md).
+func DCAppsScaled(scale float64) []App {
+	if scale <= 0 || scale == 1 {
+		return DCApps()
+	}
+	t := func(d sim.Time) sim.Time { return sim.Time(float64(d) * scale) }
+	return []App{
+		tailbenchApp("silo", t(180*sim.Microsecond), 0.25, 512, 2048),
+		tailbenchApp("sphinx", t(1300*sim.Millisecond), 0.20, 4096, 1024),
+		tailbenchApp("xapian", t(3800*sim.Microsecond), 0.35, 1024, 16*1024),
+		tailbenchApp("img-dnn", t(950*sim.Microsecond), 0.30, 8*1024, 512),
+	}
+}
+
+// Apps returns all nine victim applications in Fig. 9's column order.
+func Apps() []App { return append(HPCApps(), DCApps()...) }
+
+// AppsScaled is Apps with Tailbench service times scaled (see
+// DCAppsScaled).
+func AppsScaled(scale float64) []App { return append(HPCApps(), DCAppsScaled(scale)...) }
