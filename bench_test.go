@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/congestion"
@@ -319,4 +320,22 @@ func BenchmarkFabricPacketRate(b *testing.B) {
 		post(topology.NodeID(i), topology.NodeID(16+i))
 	}
 	net.Eng.RunWhile(func() bool { return delivered < b.N })
+}
+
+// BenchmarkFig9GridParallel measures harness.RunGrid scaling across
+// worker-pool widths on the fig9 quick-set grid. The grid's independent
+// cells are embarrassingly parallel, so on a 4+ core machine jobs=NumCPU
+// runs the same byte-identical grid >=2x faster than jobs=1 (compare the
+// sub-benchmark wall times; on a single-core machine they coincide).
+func BenchmarkFig9GridParallel(b *testing.B) {
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := harness.Fig9Heatmap(harness.Options{
+					Nodes: 32, MinIters: 2, MaxIters: 3, Seed: 11, Jobs: jobs,
+				}, harness.VictimsQuick)
+				b.ReportMetric(r.Max()["Aries (Crystal)"], "aries-max-impact")
+			}
+		})
+	}
 }

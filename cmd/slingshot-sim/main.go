@@ -1,60 +1,210 @@
-// Command slingshot-sim regenerates the paper's figures on the simulated
-// systems. Each figure accepts a scale so that full paper-sized grids (512
-// to 1024 nodes) and quick reduced runs use the same code path:
+// Command slingshot-sim regenerates the paper's experiments on the
+// simulated systems, driven by the experiment registry. Experiments
+// accept a scale so that full paper-sized grids (512 to 1024 nodes) and
+// quick reduced runs use the same code path:
 //
-//	slingshot-sim -fig 2                # switch latency distribution
-//	slingshot-sim -fig 9 -nodes 128 -set quick
-//	slingshot-sim -fig 9 -nodes 512 -set full   # paper scale (hours)
-//	slingshot-sim -fig 14
-//	slingshot-sim -all                  # every figure at default scale
+//	slingshot-sim list                          # enumerate experiments
+//	slingshot-sim run fig2                      # switch latency distribution
+//	slingshot-sim run fig6 -format json         # machine-readable output
+//	slingshot-sim run fig9 -nodes 128 -set quick -jobs 8
+//	slingshot-sim run fig9 -seeds 1,2,3 -format csv
+//	slingshot-sim run all                       # every experiment, default scale
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"time"
+	"strconv"
+	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/results"
 )
 
 func main() {
-	var (
-		fig   = flag.String("fig", "", "figure to regenerate: 2,4,5,6,8,9,10,11,12,13,14")
-		all   = flag.Bool("all", false, "run every figure at default scale")
-		nodes = flag.Int("nodes", 0, "experiment node count (0 = figure default)")
-		iters = flag.Int("iters", 0, "max measurement iterations per point")
-		seed  = flag.Uint64("seed", 42, "experiment seed (runs are deterministic per seed)")
-		ppn   = flag.Int("ppn", 1, "aggressor processes per node / Fig.6 ranks per node")
-		set   = flag.String("set", "quick", "victim set for fig 9/10: quick|apps|full")
-		panel = flag.String("panel", "A", "fig 10 panel: A (allocations), B (high PPN), C (small)")
-	)
-	flag.Parse()
-
-	opt := harness.Options{Nodes: *nodes, MaxIters: *iters, Seed: *seed, PPN: *ppn}
-	vs, err := victimSet(*set)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
 		os.Exit(2)
 	}
-
-	figs := []string{*fig}
-	if *all {
-		figs = []string{"2", "4", "5", "6", "8", "9", "10", "11", "12", "13", "14"}
-	}
-	if !*all && *fig == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-	for _, f := range figs {
-		start := time.Now()
-		out, err := run(f, opt, vs, *panel)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	switch os.Args[1] {
+	case "list":
+		list(os.Stdout)
+	case "run":
+		if err := run(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "slingshot-sim:", err)
 			os.Exit(2)
 		}
-		fmt.Printf("=== Figure %s (wall %v) ===\n%s\n", f, time.Since(start).Round(time.Millisecond), out)
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "slingshot-sim: unknown command %q\n\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
 	}
+}
+
+func usage(w *os.File) {
+	fmt.Fprintf(w, `usage:
+  slingshot-sim list                     list registered experiments
+  slingshot-sim run <name>... [flags]    run experiments (or "run all")
+
+run flags:
+`)
+	fs := runFlags(&runConfig{})
+	fs.SetOutput(w)
+	fs.PrintDefaults()
+}
+
+// list prints the registry as a table.
+func list(w *os.File) {
+	res := &results.Result{}
+	t := res.AddTable("", "name", "default nodes", "description")
+	for _, e := range harness.All() {
+		t.Row(
+			results.String(e.Name),
+			results.Int(int64(e.DefaultOptions.Nodes)),
+			results.String(e.Desc),
+		)
+	}
+	fmt.Fprint(w, results.TextString(res))
+}
+
+// runConfig holds the run-verb flag values.
+type runConfig struct {
+	nodes    int
+	minIters int
+	maxIters int
+	seed     uint64
+	seeds    string
+	ppn      int
+	jobs     int
+	set      string
+	panel    string
+	format   string
+}
+
+func runFlags(c *runConfig) *flag.FlagSet {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.IntVar(&c.nodes, "nodes", 0, "experiment node count (0 = experiment default)")
+	fs.IntVar(&c.minIters, "min-iters", 0, "min measurement iterations per point (0 = default)")
+	fs.IntVar(&c.maxIters, "iters", 0, "max measurement iterations per point (0 = default)")
+	fs.Uint64Var(&c.seed, "seed", 42, "experiment seed (runs are deterministic per seed)")
+	fs.StringVar(&c.seeds, "seeds", "", "comma-separated seed replicas, e.g. 1,2,3 (overrides -seed)")
+	fs.IntVar(&c.ppn, "ppn", 1, "aggressor processes per node / fig6 ranks per node")
+	fs.IntVar(&c.jobs, "jobs", 0, "worker pool size for independent grid points (0 = all cores)")
+	fs.StringVar(&c.set, "set", "quick", "victim set for fig9/fig10: quick|apps|full")
+	fs.StringVar(&c.panel, "panel", "A", "fig10 panel: A (allocations), B (high PPN), C (small)")
+	fs.StringVar(&c.format, "format", "table",
+		"output format: "+strings.Join(results.Formats(), "|"))
+	return fs
+}
+
+// run executes `slingshot-sim run <name>... [flags]`: experiment names
+// come first, flags after.
+func run(args []string) error {
+	var names []string
+	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		names = append(names, args[0])
+		args = args[1:]
+	}
+	var cfg runConfig
+	fs := runFlags(&cfg)
+	fs.SetOutput(io.Discard) // errors are reported once, by our caller
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			usage(os.Stdout)
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("experiment names must precede flags (stray argument %q)", fs.Arg(0))
+	}
+	if len(names) == 0 {
+		return fmt.Errorf(`no experiments named (try "slingshot-sim list" or "run all")`)
+	}
+
+	var exps []*harness.Experiment
+	seen := map[string]bool{}
+	add := func(e *harness.Experiment) {
+		if !seen[e.Name] {
+			seen[e.Name] = true
+			exps = append(exps, e)
+		}
+	}
+	for _, name := range names {
+		if name == "all" {
+			for _, e := range harness.All() {
+				add(e)
+			}
+			continue
+		}
+		e := harness.Lookup(name)
+		if e == nil {
+			return fmt.Errorf("unknown experiment %q (see: slingshot-sim list)", name)
+		}
+		add(e)
+	}
+
+	vs, err := victimSet(cfg.set)
+	if err != nil {
+		return err
+	}
+	switch cfg.panel {
+	case "A", "B", "C":
+	default:
+		return fmt.Errorf("unknown panel %q (want A|B|C)", cfg.panel)
+	}
+	seeds, err := parseSeeds(cfg.seeds, cfg.seed)
+	if err != nil {
+		return err
+	}
+	enc, err := results.NewEncoder(cfg.format)
+	if err != nil {
+		return err
+	}
+
+	// Text and CSV stream each result as its run completes (long grids
+	// show progress and survive interruption); JSON buffers so multiple
+	// results form one valid array.
+	var out []*results.Result
+	done := 0
+	for _, e := range exps {
+		for _, seed := range seeds {
+			opt := harness.Options{
+				Nodes:    cfg.nodes,
+				MinIters: cfg.minIters,
+				MaxIters: cfg.maxIters,
+				Seed:     seed,
+				PPN:      cfg.ppn,
+				Jobs:     cfg.jobs,
+				Victims:  vs,
+				Panel:    cfg.panel,
+			}
+			res, err := e.Run(opt)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.Name, err)
+			}
+			if cfg.format == "json" {
+				out = append(out, res)
+				continue
+			}
+			if done > 0 {
+				fmt.Println()
+			}
+			done++
+			if err := enc.Encode(os.Stdout, res); err != nil {
+				return err
+			}
+		}
+	}
+	if cfg.format == "json" {
+		return results.EncodeAll(os.Stdout, cfg.format, out)
+	}
+	return nil
 }
 
 func victimSet(s string) (harness.VictimSet, error) {
@@ -66,43 +216,30 @@ func victimSet(s string) (harness.VictimSet, error) {
 	case "full":
 		return harness.VictimsFull, nil
 	}
-	return 0, fmt.Errorf("slingshot-sim: unknown victim set %q", s)
+	return 0, fmt.Errorf("unknown victim set %q (want quick|apps|full)", s)
 }
 
-func run(fig string, opt harness.Options, vs harness.VictimSet, panel string) (fmt.Stringer, error) {
-	switch fig {
-	case "2":
-		return harness.Fig2SwitchLatency(opt), nil
-	case "4":
-		return harness.Fig4Distance(opt), nil
-	case "5":
-		return harness.Fig5Stacks(opt), nil
-	case "6":
-		return harness.Fig6Bisection(opt), nil
-	case "8":
-		return harness.Fig8Tailbench(opt), nil
-	case "9":
-		return harness.Fig9Heatmap(opt, vs), nil
-	case "10":
-		switch panel {
-		case "B":
-			if opt.PPN <= 1 {
-				opt.PPN = 4 // the paper's 24 PPN scaled down
-			}
-		case "C":
-			if opt.Nodes == 0 {
-				opt.Nodes = 24
-			}
-		}
-		return harness.Fig10Distributions(opt, vs, panel), nil
-	case "11":
-		return harness.Fig11FullScale(opt), nil
-	case "12":
-		return harness.Fig12Bursty(opt, nil, nil, nil), nil
-	case "13":
-		return harness.Fig13TrafficClasses(opt), nil
-	case "14":
-		return harness.Fig14Bandwidth(opt), nil
+func parseSeeds(list string, fallback uint64) ([]uint64, error) {
+	if list == "" {
+		return []uint64{fallback}, nil
 	}
-	return nil, fmt.Errorf("slingshot-sim: unknown figure %q", fig)
+	var out []uint64
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		s, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q in -seeds", f)
+		}
+		if s == 0 {
+			return nil, fmt.Errorf("seed 0 is reserved for the default (42); use a nonzero seed")
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-seeds lists no seeds")
+	}
+	return out, nil
 }

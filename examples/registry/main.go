@@ -1,0 +1,24 @@
+// Registry: run a paper experiment through the experiment registry and
+// encode its structured result — the library-side equivalent of
+// `slingshot-sim run fig6 -format json`.
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/results"
+)
+
+func main() {
+	exp := harness.Lookup("fig6")
+	res, err := exp.Run(harness.Options{Nodes: 32, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, _ := results.NewEncoder("json")
+	if err := enc.Encode(os.Stdout, res); err != nil {
+		log.Fatal(err)
+	}
+}

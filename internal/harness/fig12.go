@@ -1,15 +1,26 @@
 package harness
 
 import (
-	"fmt"
-	"strings"
-
 	"repro/internal/mpi"
 	"repro/internal/placement"
+	"repro/internal/results"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
+
+var fig12Defaults = Options{Nodes: 32, MinIters: 6, MaxIters: 16}
+
+func init() {
+	Register(Experiment{
+		Name:           "fig12",
+		Desc:           "bursty incast aggressor impact over burst size x gap heatmaps",
+		DefaultOptions: fig12Defaults,
+		Run: func(opt Options) (*results.Result, error) {
+			return Fig12Bursty(opt, nil, nil, nil).Result(), nil
+		},
+	})
+}
 
 // Fig12Cell is one element of a Fig. 12 heatmap: the congestion impact of a
 // bursty incast aggressor on a 128 B MPI_Alltoall victim.
@@ -36,9 +47,10 @@ var (
 )
 
 // Fig12Bursty runs the grid. With opt.MaxIters small this is the heaviest
-// experiment after Fig. 9; tests use 2x2 sub-grids.
+// experiment after Fig. 9; tests use 2x2 sub-grids. Cells get their seeds
+// assigned in grid order up front and run in parallel across opt.Jobs.
 func Fig12Bursty(opt Options, msgSizes []int64, bursts []int, gapsUS []int64) Fig12Result {
-	opt = opt.withDefaults(32, 6, 16)
+	opt = opt.withDefaults(fig12Defaults)
 	if msgSizes == nil {
 		msgSizes = Fig12MsgSizes
 	}
@@ -50,34 +62,43 @@ func Fig12Bursty(opt Options, msgSizes []int64, bursts []int, gapsUS []int64) Fi
 	}
 	sys := Malbec(opt.Nodes * 2)
 	victim := BenchVictim(workloads.AlltoallBench(128))
-	var res Fig12Result
+	type cellSpec struct {
+		msg   int64
+		burst int
+		gap   int64
+		seed  uint64
+	}
+	var specs []cellSpec
 	seed := opt.Seed
 	for _, msg := range msgSizes {
 		for _, burst := range bursts {
 			for _, gap := range gapsUS {
 				seed++
-				net := sys.build(seed)
-				rng := sim.NewRNG(seed ^ 0xbeef)
-				vNodes, aNodes := placement.Split(opt.Nodes, opt.Nodes/2,
-					placement.Interleaved, nil)
-				vjob := mpi.NewJob(net, vNodes, mpi.JobOpts{Stack: mpi.MPI, Tag: 1})
-				iso := measureVictim(vjob, victim, rng.Split(), opt.MinIters, opt.MaxIters)
-
-				ajob := mpi.NewJob(net, aNodes, mpi.JobOpts{Stack: mpi.MPI, Tag: 2})
-				agg := workloads.StartBurstyIncast(ajob, msg, burst,
-					sim.Time(gap)*sim.Microsecond)
-				net.RunFor(200 * sim.Microsecond)
-				cong := measureVictim(vjob, victim, rng.Split(), opt.MinIters, opt.MaxIters)
-				agg.Stop()
-
-				res.Cells = append(res.Cells, Fig12Cell{
-					MsgBytes: msg, BurstSize: burst, GapUS: gap,
-					Impact: stats.CongestionImpact(iso.Mean(), cong.Mean()),
-				})
+				specs = append(specs, cellSpec{msg, burst, gap, seed})
 			}
 		}
 	}
-	return res
+	cells := parallelMap(opt.Jobs, specs, func(c cellSpec) Fig12Cell {
+		net := sys.build(c.seed)
+		rng := sim.NewRNG(c.seed ^ 0xbeef)
+		vNodes, aNodes := placement.Split(opt.Nodes, opt.Nodes/2,
+			placement.Interleaved, nil)
+		vjob := mpi.NewJob(net, vNodes, mpi.JobOpts{Stack: mpi.MPI, Tag: 1})
+		iso := measureVictim(vjob, victim, rng.Split(), opt.MinIters, opt.MaxIters)
+
+		ajob := mpi.NewJob(net, aNodes, mpi.JobOpts{Stack: mpi.MPI, Tag: 2})
+		agg := workloads.StartBurstyIncast(ajob, c.msg, c.burst,
+			sim.Time(c.gap)*sim.Microsecond)
+		net.RunFor(200 * sim.Microsecond)
+		cong := measureVictim(vjob, victim, rng.Split(), opt.MinIters, opt.MaxIters)
+		agg.Stop()
+
+		return Fig12Cell{
+			MsgBytes: c.msg, BurstSize: c.burst, GapUS: c.gap,
+			Impact: stats.CongestionImpact(iso.Mean(), cong.Mean()),
+		}
+	})
+	return Fig12Result{Cells: cells}
 }
 
 // MaxImpact returns the worst impact per aggressor message size (the paper
@@ -92,17 +113,17 @@ func (r Fig12Result) MaxImpact() map[int64]float64 {
 	return out
 }
 
-func (r Fig12Result) String() string {
-	var b strings.Builder
-	rows := make([][]string, 0, len(r.Cells))
+// Result converts the grid to the uniform structured form.
+func (r Fig12Result) Result() *results.Result {
+	res := &results.Result{}
+	t := res.AddTable("bursty", "aggr_msg", "burst_size", "gap_us", "impact")
 	for _, c := range r.Cells {
-		rows = append(rows, []string{
-			sizeName(c.MsgBytes),
-			fmt.Sprintf("%d", c.BurstSize),
-			fmt.Sprintf("%d", c.GapUS),
-			f2(c.Impact),
-		})
+		t.Row(
+			results.String(sizeName(c.MsgBytes)), results.Int(int64(c.BurstSize)),
+			results.Int(c.GapUS), results.Float(c.Impact, 2),
+		)
 	}
-	fmt.Fprint(&b, table([]string{"aggr msg", "burst size", "gap (us)", "impact"}, rows))
-	return b.String()
+	return res
 }
+
+func (r Fig12Result) String() string { return results.TextString(r.Result()) }

@@ -1,18 +1,40 @@
 package harness
 
 import (
-	"fmt"
-	"strings"
-
 	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/placement"
 	"repro/internal/qos"
+	"repro/internal/results"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/workloads"
 )
+
+var (
+	fig13Defaults = Options{Nodes: 32}
+	fig14Defaults = Options{Nodes: 32}
+)
+
+func init() {
+	Register(Experiment{
+		Name:           "fig13",
+		Desc:           "traffic-class isolation of a latency-critical allreduce over time",
+		DefaultOptions: fig13Defaults,
+		Run: func(opt Options) (*results.Result, error) {
+			return Fig13TrafficClasses(opt).Result(), nil
+		},
+	})
+	Register(Experiment{
+		Name:           "fig14",
+		Desc:           "guaranteed-minimum bandwidth split between two jobs over time",
+		DefaultOptions: fig14Defaults,
+		Run: func(opt Options) (*results.Result, error) {
+			return Fig14Bandwidth(opt).Result(), nil
+		},
+	})
+}
 
 // qosTwoClasses builds the Fig. 13 configuration: a high-priority,
 // low-bandwidth class for latency-critical collectives and a default bulk
@@ -50,13 +72,22 @@ type Fig13Result struct {
 	SameImpact, SeparateImpact float64
 }
 
-// Fig13TrafficClasses runs both configurations.
+// Fig13TrafficClasses runs both configurations (in parallel — each owns
+// its network).
 func Fig13TrafficClasses(opt Options) Fig13Result {
-	opt = opt.withDefaults(32, 0, 0)
-	var res Fig13Result
-	res.SameTC, res.SameImpact = fig13Run(opt, false)
-	res.SeparateTC, res.SeparateImpact = fig13Run(opt, true)
-	return res
+	opt = opt.withDefaults(fig13Defaults)
+	type run struct {
+		pts    []Fig13Point
+		impact float64
+	}
+	runs := parallelMap(opt.Jobs, []bool{false, true}, func(separate bool) run {
+		pts, impact := fig13Run(opt, separate)
+		return run{pts, impact}
+	})
+	return Fig13Result{
+		SameTC: runs[0].pts, SameImpact: runs[0].impact,
+		SeparateTC: runs[1].pts, SeparateImpact: runs[1].impact,
+	}
 }
 
 func fig13Run(opt Options, separate bool) ([]Fig13Point, float64) {
@@ -120,15 +151,26 @@ func fig13Run(opt Options, separate bool) ([]Fig13Point, float64) {
 	return pts, after.Mean() / base
 }
 
-func (r Fig13Result) String() string {
-	return table(
-		[]string{"configuration", "steady-state congestion impact"},
-		[][]string{
-			{"same traffic class", f2(r.SameImpact)},
-			{"separate traffic classes", f2(r.SeparateImpact)},
-		},
-	)
+// Result converts the measurement to the uniform structured form: the
+// steady-state table plus one impact-over-time series per configuration.
+func (r Fig13Result) Result() *results.Result {
+	res := &results.Result{}
+	res.AddTable("steady-state", "configuration", "impact").
+		Row(results.String("same traffic class"), results.Float(r.SameImpact, 2)).
+		Row(results.String("separate traffic classes"), results.Float(r.SeparateImpact, 2))
+	series := func(name string, pts []Fig13Point) results.Series {
+		s := results.Series{Name: name, XUnit: "us", YUnit: "impact"}
+		for _, p := range pts {
+			s.Points = append(s.Points, results.Point{X: p.At.Microseconds(), Y: p.Impact})
+		}
+		return s
+	}
+	res.AddSeries(series("same-tc", r.SameTC))
+	res.AddSeries(series("separate-tc", r.SeparateTC))
+	return res
 }
+
+func (r Fig13Result) String() string { return results.TextString(r.Result()) }
 
 // Fig14Series is one job's bandwidth-over-time trace.
 type Fig14Series struct {
@@ -145,13 +187,14 @@ type Fig14Result struct {
 	SeparateTC []Fig14Series
 }
 
-// Fig14Bandwidth runs both configurations.
+// Fig14Bandwidth runs both configurations (in parallel — each owns its
+// network).
 func Fig14Bandwidth(opt Options) Fig14Result {
-	opt = opt.withDefaults(32, 0, 0)
-	return Fig14Result{
-		SameTC:     fig14Run(opt, false),
-		SeparateTC: fig14Run(opt, true),
-	}
+	opt = opt.withDefaults(fig14Defaults)
+	runs := parallelMap(opt.Jobs, []bool{false, true}, func(separate bool) []Fig14Series {
+		return fig14Run(opt, separate)
+	})
+	return Fig14Result{SameTC: runs[0], SeparateTC: runs[1]}
 }
 
 func fig14Run(opt Options, separate bool) []Fig14Series {
@@ -261,22 +304,32 @@ func (r Fig14Result) OverlapShares() (same [2]float64, separate [2]float64) {
 	return
 }
 
-func (r Fig14Result) String() string {
-	var b strings.Builder
-	write := func(name string, series []Fig14Series) {
-		fmt.Fprintf(&b, "%s:\n", name)
-		for _, s := range series {
-			fmt.Fprintf(&b, "  %s Gb/s/node:", s.Job)
-			for _, v := range s.GbsNode {
-				fmt.Fprintf(&b, " %5.1f", v)
+// Result converts the traces to the uniform structured form: per-job
+// bandwidth series for each configuration plus the overlap-share table.
+func (r Fig14Result) Result() *results.Result {
+	res := &results.Result{}
+	same, sep := r.OverlapShares()
+	res.AddTable("overlap-share", "configuration", "job1_share", "job2_share").
+		Row(results.String("same TC"), results.Float(same[0], 2), results.Float(same[1], 2)).
+		Row(results.String("separate TCs (min 80% / min 10%)"),
+			results.Float(sep[0], 2), results.Float(sep[1], 2))
+	add := func(cfg string, traces []Fig14Series) {
+		for _, tr := range traces {
+			s := results.Series{
+				Name:  cfg + "/" + tr.Job,
+				XUnit: "us", YUnit: "Gb/s/node",
 			}
-			b.WriteByte('\n')
+			for i, v := range tr.GbsNode {
+				s.Points = append(s.Points, results.Point{
+					X: (sim.Time(i) * tr.Bucket).Microseconds(), Y: v,
+				})
+			}
+			res.AddSeries(s)
 		}
 	}
-	write("same TC", r.SameTC)
-	write("separate TCs (min 80% / min 10%)", r.SeparateTC)
-	same, sep := r.OverlapShares()
-	fmt.Fprintf(&b, "overlap share same TC: %.2f/%.2f, separate: %.2f/%.2f\n",
-		same[0], same[1], sep[0], sep[1])
-	return b.String()
+	add("same-tc", r.SameTC)
+	add("separate-tc", r.SeparateTC)
+	return res
 }
+
+func (r Fig14Result) String() string { return results.TextString(r.Result()) }

@@ -5,10 +5,44 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/mpi"
+	"repro/internal/results"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
+
+var (
+	fig2Defaults = Options{Nodes: 64, MinIters: 200, MaxIters: 2000}
+	fig4Defaults = Options{Nodes: 64, MinIters: 20, MaxIters: 60}
+	fig5Defaults = Options{Nodes: 64, MinIters: 3, MaxIters: 10}
+)
+
+func init() {
+	Register(Experiment{
+		Name:           "fig2",
+		Desc:           "switch traversal latency distribution (2-hop minus 1-hop RoCE)",
+		DefaultOptions: fig2Defaults,
+		Run: func(opt Options) (*results.Result, error) {
+			return Fig2SwitchLatency(opt).Result(), nil
+		},
+	})
+	Register(Experiment{
+		Name:           "fig4",
+		Desc:           "latency and bandwidth vs node distance and message size",
+		DefaultOptions: fig4Defaults,
+		Run: func(opt Options) (*results.Result, error) {
+			return Fig4Distance(opt).Result(), nil
+		},
+	})
+	Register(Experiment{
+		Name:           "fig5",
+		Desc:           "RTT/2 across software stacks and message sizes",
+		DefaultOptions: fig5Defaults,
+		Run: func(opt Options) (*results.Result, error) {
+			return Fig5Stacks(opt).Result(), nil
+		},
+	})
+}
 
 // Fig2Result is the Fig. 2 switch-latency distribution for RoCE traffic:
 // the latency difference between 2-hop and 1-hop transfers.
@@ -21,7 +55,7 @@ type Fig2Result struct {
 // 1-hop (same switch) path latencies for 8 B RoCE messages on a quiet
 // system.
 func Fig2SwitchLatency(opt Options) Fig2Result {
-	opt = opt.withDefaults(64, 200, 2000)
+	opt = opt.withDefaults(fig2Defaults)
 	sys := Shandy(opt.Nodes)
 	net := sys.build(opt.Seed)
 	nps := sys.Topo.NodesPerSwitch
@@ -50,20 +84,21 @@ func Fig2SwitchLatency(opt Options) Fig2Result {
 	return Fig2Result{Samples: out}
 }
 
-func (r Fig2Result) String() string {
+// Result converts the measurement to the uniform structured form.
+func (r Fig2Result) Result() *results.Result {
 	s := r.Samples
-	return table(
-		[]string{"metric", "value (ns)"},
-		[][]string{
-			{"mean", f1(s.Mean())},
-			{"median", f1(s.Median())},
-			{"p1", f1(s.Percentile(1))},
-			{"p99", f1(s.Percentile(99))},
-			{"min", f1(s.Min())},
-			{"max", f1(s.Max())},
-		},
-	)
+	res := &results.Result{}
+	res.AddTable("distribution", "metric", "value_ns").
+		Row(results.String("mean"), results.Float(s.Mean(), 1)).
+		Row(results.String("median"), results.Float(s.Median(), 1)).
+		Row(results.String("p1"), results.Float(s.Percentile(1), 1)).
+		Row(results.String("p99"), results.Float(s.Percentile(99), 1)).
+		Row(results.String("min"), results.Float(s.Min(), 1)).
+		Row(results.String("max"), results.Float(s.Max(), 1))
+	return res
 }
+
+func (r Fig2Result) String() string { return results.TextString(r.Result()) }
 
 // Fig4Row is one (distance, size) cell of Fig. 4: the latency boxplot and
 // the streaming bandwidth.
@@ -84,13 +119,13 @@ type Fig4Result struct {
 // Fig4Sizes are the paper's four message sizes.
 var Fig4Sizes = []int64{8, 1024, 128 * 1024, 4 * 1024 * 1024}
 
-// Fig4Distance runs the Fig. 4 grid.
+// Fig4Distance runs the Fig. 4 grid. Every (distance, size) point builds
+// a fresh network, so points run in parallel across opt.Jobs workers.
 func Fig4Distance(opt Options) Fig4Result {
-	opt = opt.withDefaults(64, 20, 60)
+	opt = opt.withDefaults(fig4Defaults)
 	sys := Shandy(opt.Nodes)
 	nps := sys.Topo.NodesPerSwitch
 	npg := nps * sys.Topo.SwitchesPerGroup
-	var res Fig4Result
 	dists := []struct {
 		name string
 		dst  int
@@ -99,26 +134,33 @@ func Fig4Distance(opt Options) Fig4Result {
 		{"different switches", nps},
 		{"different groups", npg},
 	}
+	type point struct {
+		name string
+		dst  int
+		size int64
+	}
+	var points []point
 	for _, d := range dists {
 		for _, size := range Fig4Sizes {
-			// Fresh network per point keeps points independent.
-			net := sys.build(opt.Seed)
-			lat := stats.NewSample(opt.MaxIters)
-			for i := 0; i < opt.MaxIters; i++ {
-				start := net.Now()
-				var done sim.Time
-				net.Send(0, topology.NodeID(d.dst), size,
-					fabric.SendOpts{OnDelivered: func(at sim.Time) { done = at }})
-				net.Eng.RunWhile(func() bool { return done == 0 })
-				lat.Add((done - start).Microseconds())
-			}
-			gbits := streamBandwidth(sys, opt.Seed, topology.NodeID(d.dst), size)
-			res.Rows = append(res.Rows, Fig4Row{
-				Distance: d.name, Size: size, Latency: lat.Box(), GBits: gbits,
-			})
+			points = append(points, point{d.name, d.dst, size})
 		}
 	}
-	return res
+	rows := parallelMap(opt.Jobs, points, func(p point) Fig4Row {
+		// Fresh network per point keeps points independent.
+		net := sys.build(opt.Seed)
+		lat := stats.NewSample(opt.MaxIters)
+		for i := 0; i < opt.MaxIters; i++ {
+			start := net.Now()
+			var done sim.Time
+			net.Send(0, topology.NodeID(p.dst), p.size,
+				fabric.SendOpts{OnDelivered: func(at sim.Time) { done = at }})
+			net.Eng.RunWhile(func() bool { return done == 0 })
+			lat.Add((done - start).Microseconds())
+		}
+		gbits := streamBandwidth(sys, opt.Seed, topology.NodeID(p.dst), p.size)
+		return Fig4Row{Distance: p.name, Size: p.size, Latency: lat.Box(), GBits: gbits}
+	})
+	return Fig4Result{Rows: rows}
 }
 
 // streamBandwidth measures pipelined point-to-point bandwidth with a
@@ -154,20 +196,22 @@ func streamBandwidth(sys System, seed uint64, dst topology.NodeID, size int64) f
 	return float64(size*int64(iters)) * 8 / finish.Seconds() / 1e9
 }
 
-func (r Fig4Result) String() string {
-	rows := make([][]string, 0, len(r.Rows))
+// Result converts the measurement to the uniform structured form.
+func (r Fig4Result) Result() *results.Result {
+	res := &results.Result{}
+	t := res.AddTable("grid", "distance", "size", "S_us", "Q1", "median", "Q3", "L", "Gbps")
 	for _, row := range r.Rows {
-		rows = append(rows, []string{
-			row.Distance, sizeName(row.Size),
-			f2(row.Latency.S), f2(row.Latency.Q1), f2(row.Latency.Median),
-			f2(row.Latency.Q3), f2(row.Latency.L), f2(row.GBits),
-		})
+		t.Row(
+			results.String(row.Distance), results.String(sizeName(row.Size)),
+			results.Float(row.Latency.S, 2), results.Float(row.Latency.Q1, 2),
+			results.Float(row.Latency.Median, 2), results.Float(row.Latency.Q3, 2),
+			results.Float(row.Latency.L, 2), results.Float(row.GBits, 2),
+		)
 	}
-	return table(
-		[]string{"distance", "size", "S(us)", "Q1", "median", "Q3", "L", "Gb/s"},
-		rows,
-	)
+	return res
 }
+
+func (r Fig4Result) String() string { return results.TextString(r.Result()) }
 
 func sizeName(s int64) string {
 	switch {
@@ -197,37 +241,48 @@ type Fig5Result struct {
 var Fig5Sizes = []int64{8, 64, 512, 1024, 4096, 32 * 1024, 256 * 1024, 2 << 20, 16 << 20}
 
 // Fig5Stacks runs the Fig. 5 grid between two nodes in different groups.
+// Points build independent networks and run in parallel.
 func Fig5Stacks(opt Options) Fig5Result {
-	opt = opt.withDefaults(64, 3, 10)
+	opt = opt.withDefaults(fig5Defaults)
 	sys := Shandy(opt.Nodes)
 	npg := sys.Topo.NodesPerSwitch * sys.Topo.SwitchesPerGroup
-	var res Fig5Result
+	type point struct {
+		stack mpi.Stack
+		size  int64
+	}
+	var points []point
 	for _, st := range mpi.Stacks() {
 		for _, size := range Fig5Sizes {
-			net := sys.build(opt.Seed)
-			j := mpi.NewJob(net, []topology.NodeID{0, topology.NodeID(npg)},
-				mpi.JobOpts{Stack: st})
-			var rtts []sim.Time
-			j.PingPong(0, 1, size, opt.MaxIters, func(rs []sim.Time) { rtts = rs })
-			net.Eng.Run()
-			s := stats.NewSample(len(rtts))
-			for _, r := range rtts {
-				s.Add(float64(r))
-			}
-			res.Points = append(res.Points, Fig5Point{
-				Stack: st, Size: size, RTT2: sim.Time(s.Median()),
-			})
+			points = append(points, point{st, size})
 		}
+	}
+	out := parallelMap(opt.Jobs, points, func(p point) Fig5Point {
+		net := sys.build(opt.Seed)
+		j := mpi.NewJob(net, []topology.NodeID{0, topology.NodeID(npg)},
+			mpi.JobOpts{Stack: p.stack})
+		var rtts []sim.Time
+		j.PingPong(0, 1, p.size, opt.MaxIters, func(rs []sim.Time) { rtts = rs })
+		net.Eng.Run()
+		s := stats.NewSample(len(rtts))
+		for _, r := range rtts {
+			s.Add(float64(r))
+		}
+		return Fig5Point{Stack: p.stack, Size: p.size, RTT2: sim.Time(s.Median())}
+	})
+	return Fig5Result{Points: out}
+}
+
+// Result converts the measurement to the uniform structured form.
+func (r Fig5Result) Result() *results.Result {
+	res := &results.Result{}
+	t := res.AddTable("rtt", "stack", "size", "rtt2_us")
+	for _, p := range r.Points {
+		t.Row(
+			results.String(p.Stack.String()), results.String(sizeName(p.Size)),
+			results.Float(p.RTT2.Microseconds(), 2),
+		)
 	}
 	return res
 }
 
-func (r Fig5Result) String() string {
-	rows := make([][]string, 0, len(r.Points))
-	for _, p := range r.Points {
-		rows = append(rows, []string{
-			p.Stack.String(), sizeName(p.Size), f2(p.RTT2.Microseconds()),
-		})
-	}
-	return table([]string{"stack", "size", "RTT/2 (us)"}, rows)
-}
+func (r Fig5Result) String() string { return results.TextString(r.Result()) }

@@ -1,13 +1,25 @@
 package harness
 
 import (
-	"fmt"
-
 	"repro/internal/fabric"
 	"repro/internal/mpi"
+	"repro/internal/results"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
+
+var fig6Defaults = Options{Nodes: 64}
+
+func init() {
+	Register(Experiment{
+		Name:           "fig6",
+		Desc:           "bisection and MPI_Alltoall aggregate bandwidth vs theoretical peak",
+		DefaultOptions: fig6Defaults,
+		Run: func(opt Options) (*results.Result, error) {
+			return Fig6Bisection(opt).Result(), nil
+		},
+	})
+}
 
 // Fig6Point is one measured series point of Fig. 6.
 type Fig6Point struct {
@@ -32,9 +44,10 @@ var Fig6Sizes = []int64{8, 32, 128, 512, 2048, 8192, 32 * 1024, 128 * 1024}
 
 // Fig6Bisection measures both series. PPN follows opt.PPN for the alltoall
 // series (the paper shows 16 and 24; reduced-scale runs use smaller
-// values since ranks multiply event counts).
+// values since ranks multiply event counts). Every (series, size) point
+// builds its own network, so points run in parallel across opt.Jobs.
 func Fig6Bisection(opt Options) Fig6Result {
-	opt = opt.withDefaults(64, 0, 0)
+	opt = opt.withDefaults(fig6Defaults)
 	sys := Shandy(opt.Nodes)
 	topo := topology.MustNew(sys.Topo)
 	res := Fig6Result{
@@ -42,20 +55,31 @@ func Fig6Bisection(opt Options) Fig6Result {
 		AlltoallPeakTBits:  float64(topo.AlltoallPeakBits(topology.LinkBits)) / 1e12,
 	}
 	n := topo.Nodes()
+	type point struct {
+		series string
+		size   int64
+	}
+	var points []point
 	for _, size := range Fig6Sizes {
-		tb := measureBisection(sys, opt.Seed, n, size)
-		res.Points = append(res.Points, Fig6Point{
-			Series: "bisection", Size: size, PPN: 1, TBits: tb,
-			PeakFrc: tb / res.BisectionPeakTBits,
-		})
+		points = append(points, point{"bisection", size})
 	}
 	for _, size := range Fig6Sizes {
-		tb := measureAlltoall(sys, opt.Seed, n, opt.PPN, size)
-		res.Points = append(res.Points, Fig6Point{
-			Series: "alltoall", Size: size, PPN: opt.PPN, TBits: tb,
+		points = append(points, point{"alltoall", size})
+	}
+	res.Points = parallelMap(opt.Jobs, points, func(p point) Fig6Point {
+		if p.series == "bisection" {
+			tb := measureBisection(sys, opt.Seed, n, p.size)
+			return Fig6Point{
+				Series: "bisection", Size: p.size, PPN: 1, TBits: tb,
+				PeakFrc: tb / res.BisectionPeakTBits,
+			}
+		}
+		tb := measureAlltoall(sys, opt.Seed, n, opt.PPN, p.size)
+		return Fig6Point{
+			Series: "alltoall", Size: p.size, PPN: opt.PPN, TBits: tb,
 			PeakFrc: tb / res.AlltoallPeakTBits,
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -114,17 +138,21 @@ func measureAlltoall(sys System, seed uint64, n, ppn int, size int64) float64 {
 	return float64(net.BytesDelivered-startBytes) * 8 / meas.Seconds() / 1e12
 }
 
-func (r Fig6Result) String() string {
-	rows := make([][]string, 0, len(r.Points)+2)
-	rows = append(rows,
-		[]string{"theoretical bisection", "-", "-", fmt.Sprintf("%.2f", r.BisectionPeakTBits), "1.00"},
-		[]string{"theoretical alltoall", "-", "-", fmt.Sprintf("%.2f", r.AlltoallPeakTBits), "1.00"},
-	)
+// Result converts the measurement to the uniform structured form.
+func (r Fig6Result) Result() *results.Result {
+	res := &results.Result{}
+	res.AddTable("peaks", "metric", "Tbps").
+		Row(results.String("theoretical bisection"), results.Float(r.BisectionPeakTBits, 2)).
+		Row(results.String("theoretical alltoall"), results.Float(r.AlltoallPeakTBits, 2))
+	t := res.AddTable("points", "series", "size", "PPN", "Tbps", "peak_frac")
 	for _, p := range r.Points {
-		rows = append(rows, []string{
-			p.Series, sizeName(p.Size), fmt.Sprintf("%d", p.PPN),
-			fmt.Sprintf("%.3f", p.TBits), f2(p.PeakFrc),
-		})
+		t.Row(
+			results.String(p.Series), results.String(sizeName(p.Size)),
+			results.Int(int64(p.PPN)), results.Float(p.TBits, 3),
+			results.Float(p.PeakFrc, 2),
+		)
 	}
-	return table([]string{"series", "size", "PPN", "Tb/s", "frac of peak"}, rows)
+	return res
 }
+
+func (r Fig6Result) String() string { return results.TextString(r.Result()) }

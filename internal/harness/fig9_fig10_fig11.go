@@ -5,8 +5,58 @@ import (
 	"math"
 
 	"repro/internal/placement"
+	"repro/internal/results"
 	"repro/internal/stats"
 )
+
+var (
+	fig9Defaults  = Options{Nodes: 48, MinIters: 4, MaxIters: 10}
+	fig10Defaults = Options{Nodes: 48, MinIters: 3, MaxIters: 8}
+	fig11Defaults = Options{Nodes: 64, MinIters: 3, MaxIters: 8}
+)
+
+func init() {
+	Register(Experiment{
+		Name:           "fig9",
+		Desc:           "congestion-impact heatmap: victims vs (system, aggressor, split)",
+		DefaultOptions: fig9Defaults,
+		Run: func(opt Options) (*results.Result, error) {
+			return Fig9Heatmap(opt, opt.Victims).Result(), nil
+		},
+	})
+	Register(Experiment{
+		Name:           "fig10",
+		Desc:           "impact distributions across allocation policies (panels A/B/C)",
+		DefaultOptions: fig10Defaults,
+		// The paper's panel variants: B raises aggressor PPN (24 at
+		// paper scale, 4 reduced), C shrinks the machine. Applied to
+		// the raw options so an explicitly requested scale wins.
+		Prepare: func(opt Options) Options {
+			switch opt.Panel {
+			case "B":
+				if opt.PPN <= 1 {
+					opt.PPN = 4
+				}
+			case "C":
+				if opt.Nodes == 0 {
+					opt.Nodes = 24
+				}
+			}
+			return opt
+		},
+		Run: func(opt Options) (*results.Result, error) {
+			return Fig10Distributions(opt, opt.Victims, opt.Panel).Result(), nil
+		},
+	})
+	Register(Experiment{
+		Name:           "fig11",
+		Desc:           "full-system application heatmap under congestion (random allocation)",
+		DefaultOptions: fig11Defaults,
+		Run: func(opt Options) (*results.Result, error) {
+			return Fig11FullScale(opt).Result(), nil
+		},
+	})
+}
 
 // Fig9Result is the congestion-impact heatmap of Fig. 9: victims as
 // columns; (system, aggressor, split) as rows.
@@ -34,7 +84,7 @@ var Fig9Splits = []float64{0.9, 0.5, 0.1}
 // jobs onto disjoint Dragonfly groups (which would eliminate the
 // interference the experiment studies).
 func Fig9Heatmap(opt Options, set VictimSet) Fig9Result {
-	opt = opt.withDefaults(48, 4, 10)
+	opt = opt.withDefaults(fig9Defaults)
 	return congestionGrid(opt, set, placement.Linear, gridSystems(opt.Nodes), Fig9Splits)
 }
 
@@ -44,38 +94,48 @@ func gridSystems(nodes int) []System {
 	return []System{Crystal(nodes * 3 / 2), Shandy(nodes * 2)}
 }
 
+// congestionGrid builds every cell of a heatmap up front — assigning each
+// its seed in row-major order, exactly as the sequential runner did — and
+// fans the independent cells out over RunGrid's worker pool.
 func congestionGrid(opt Options, set VictimSet, alloc placement.Policy, systems []System, splits []float64) Fig9Result {
 	victims := Victims(set)
 	res := Fig9Result{}
 	for _, v := range victims {
 		res.Columns = append(res.Columns, v.Label)
 	}
+	var points []GridPoint
 	seed := opt.Seed
 	for _, sys := range systems {
 		for _, kind := range []AggressorKind{AlltoallAggressor, IncastAggressor} {
 			for _, vf := range splits {
-				row := Fig9RowResult{
+				res.Rows = append(res.Rows, Fig9RowResult{
 					System:    sys.Name,
 					Aggressor: kind.String(),
-					AggrFrac:  1 - vf,
-				}
+					AggrFrac:  aggrFrac(vf),
+				})
 				for _, v := range victims {
 					seed++
-					row.Cells = append(row.Cells, RunCell(CellSpec{
-						Sys:        sys,
-						TotalNodes: opt.Nodes,
-						VictimFrac: vf,
-						Aggressor:  kind,
-						Alloc:      alloc,
-						AggrPPN:    opt.PPN,
-						Seed:       seed,
-						MinIters:   opt.MinIters,
-						MaxIters:   opt.MaxIters,
-					}, v))
+					points = append(points, GridPoint{
+						Spec: CellSpec{
+							Sys:        sys,
+							TotalNodes: opt.Nodes,
+							VictimFrac: vf,
+							Aggressor:  kind,
+							Alloc:      alloc,
+							AggrPPN:    opt.PPN,
+							Seed:       seed,
+							MinIters:   opt.MinIters,
+							MaxIters:   opt.MaxIters,
+						},
+						Victim: v,
+					})
 				}
-				res.Rows = append(res.Rows, row)
 			}
 		}
+	}
+	cells := RunGrid(points, opt.Jobs)
+	for i := range res.Rows {
+		res.Rows[i].Cells = cells[i*len(victims) : (i+1)*len(victims)]
 	}
 	return res
 }
@@ -94,22 +154,30 @@ func (r Fig9Result) Max() map[string]float64 {
 	return out
 }
 
-func (r Fig9Result) String() string {
-	header := append([]string{"system", "aggressor", "aggr%"}, r.Columns...)
-	rows := make([][]string, 0, len(r.Rows))
+// Result converts the heatmap to the uniform structured form: one table
+// with a column per victim.
+func (r Fig9Result) Result() *results.Result {
+	res := &results.Result{}
+	cols := append([]string{"system", "aggressor", "aggr_frac"}, r.Columns...)
+	t := res.AddTable("heatmap", cols...)
 	for _, row := range r.Rows {
-		cells := []string{row.System, row.Aggressor, fmt.Sprintf("%.0f%%", row.AggrFrac*100)}
+		cells := []results.Value{
+			results.String(row.System), results.String(row.Aggressor),
+			results.Float(row.AggrFrac, 2),
+		}
 		for _, c := range row.Cells {
 			if c.NA {
-				cells = append(cells, "N.A.")
+				cells = append(cells, results.NA())
 			} else {
-				cells = append(cells, f1(c.Impact))
+				cells = append(cells, results.Float(c.Impact, 1))
 			}
 		}
-		rows = append(rows, cells)
+		t.Row(cells...)
 	}
-	return table(header, rows)
+	return res
 }
+
+func (r Fig9Result) String() string { return results.TextString(r.Result()) }
 
 // Fig10Variant is one panel of Fig. 10: the distribution of all heatmap
 // elements for a given allocation policy.
@@ -133,7 +201,7 @@ type Fig10Result struct {
 // (panel B uses 24 in the paper); nodes the total node count (panel C
 // shrinks it).
 func Fig10Distributions(opt Options, set VictimSet, panel string) Fig10Result {
-	opt = opt.withDefaults(48, 3, 8)
+	opt = opt.withDefaults(fig10Defaults)
 	res := Fig10Result{Panel: panel}
 	for _, sys := range gridSystems(opt.Nodes) {
 		for _, alloc := range []placement.Policy{placement.Linear, placement.Interleaved, placement.Random} {
@@ -159,17 +227,22 @@ func Fig10Distributions(opt Options, set VictimSet, panel string) Fig10Result {
 	return res
 }
 
-func (r Fig10Result) String() string {
-	rows := make([][]string, 0, len(r.Variants))
+// Result converts the panel to the uniform structured form.
+func (r Fig10Result) Result() *results.Result {
+	res := &results.Result{}
+	t := res.AddTable(fmt.Sprintf("panel %s", r.Panel),
+		"system", "allocation", "median_C", "p95_C", "max_C")
 	for _, v := range r.Variants {
-		rows = append(rows, []string{
-			v.System, v.Alloc.String(),
-			f2(v.Impacts.Median()), f2(v.Impacts.Percentile(95)), f1(v.Max),
-		})
+		t.Row(
+			results.String(v.System), results.String(v.Alloc.String()),
+			results.Float(v.Impacts.Median(), 2), results.Float(v.Impacts.Percentile(95), 2),
+			results.Float(v.Max, 1),
+		)
 	}
-	return fmt.Sprintf("Fig. 10 panel %s\n%s", r.Panel,
-		table([]string{"system", "allocation", "median C", "p95 C", "max C"}, rows))
+	return res
 }
+
+func (r Fig10Result) String() string { return results.TextString(r.Result()) }
 
 // Fig11Result is the full-system heatmap of Fig. 11: applications under
 // congestion using all nodes of Shandy, random allocation, with N.A.
@@ -186,12 +259,15 @@ var Fig11Splits = []float64{0.75, 0.5, 0.25} // victim fractions
 // scale with random allocation (the paper: that is the allocation
 // generating the most congestion).
 func Fig11FullScale(opt Options) Fig11Result {
-	opt = opt.withDefaults(64, 3, 8)
+	opt = opt.withDefaults(fig11Defaults)
 	grid := congestionGrid(opt, VictimsApps, placement.Random,
 		[]System{Shandy(opt.Nodes)}, Fig11Splits)
 	return Fig11Result{Columns: grid.Columns, Rows: grid.Rows}
 }
 
-func (r Fig11Result) String() string {
-	return Fig9Result{Columns: r.Columns, Rows: r.Rows}.String()
+// Result converts the heatmap to the uniform structured form.
+func (r Fig11Result) Result() *results.Result {
+	return Fig9Result{Columns: r.Columns, Rows: r.Rows}.Result()
 }
+
+func (r Fig11Result) String() string { return results.TextString(r.Result()) }

@@ -135,6 +135,11 @@ type CellResult struct {
 // isPow2 reports whether v is a power of two.
 func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
 
+// aggrFrac returns 1-vf rounded to micro precision: 1-0.9 is
+// 0.09999999999999998 in float64, and the raw-precision JSON/CSV
+// encoders would expose that artifact as a grouping key.
+func aggrFrac(vf float64) float64 { return math.Round((1-vf)*1e6) / 1e6 }
+
 // RunCell measures the congestion impact of one victim/aggressor pairing
 // following §III-A: measure the victim isolated, start the aggressor, warm
 // up, measure again, report C = Tc/Ti of the means.
@@ -142,7 +147,7 @@ func RunCell(spec CellSpec, v Victim) CellResult {
 	res := CellResult{
 		Victim:    v.Label,
 		Aggressor: spec.Aggressor.String(),
-		Frac:      1 - spec.VictimFrac,
+		Frac:      aggrFrac(spec.VictimFrac),
 	}
 	total := spec.TotalNodes
 	nv := int(math.Round(float64(total) * spec.VictimFrac))

@@ -1,24 +1,23 @@
 // Package harness regenerates every figure and table of the paper's
-// evaluation on the simulated systems. Each FigN function builds the
-// systems it needs, runs the paper's measurement protocol, and returns a
-// result struct that renders the same rows/series the paper reports.
+// evaluation on the simulated systems. Each experiment registers itself
+// under a name ("fig2" ... "fig14"); Lookup/All drive them generically
+// and every run returns a uniform *results.Result that the CLI encodes
+// as text, JSON, or CSV.
 //
 // Experiments accept an Options scale so the full grids can run at paper
 // scale from cmd/slingshot-sim while tests and benchmarks use reduced node
 // counts (the shape of the results — who wins, by roughly what factor,
-// where crossovers fall — is what the reproduction asserts).
+// where crossovers fall — is what the reproduction asserts). Grid
+// experiments fan their independent points out across a worker pool
+// (Options.Jobs); each point owns its seed and network, so worker count
+// never changes the numbers.
 package harness
 
 import (
-	"fmt"
-	"strings"
+	"runtime"
 
 	"repro/internal/fabric"
-	"repro/internal/mpi"
-	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/topology"
-	"repro/internal/workloads"
 )
 
 // Options scales an experiment.
@@ -31,23 +30,45 @@ type Options struct {
 	Seed uint64
 	// PPN is the aggressor processes-per-node where applicable.
 	PPN int
+	// Jobs is the worker-pool width for independent grid points
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical for any value.
+	Jobs int
+	// Victims selects the grid columns for fig9/fig10
+	// (default VictimsQuick).
+	Victims VictimSet
+	// Panel selects the Fig. 10 panel: "A", "B", or "C" (default "A").
+	Panel string
 }
 
-func (o Options) withDefaults(nodes, minIters, maxIters int) Options {
+// withDefaults fills zero fields from an experiment's default options
+// (the single source shared with its registry entry), validates the
+// iteration range, and applies the generic fallbacks.
+func (o Options) withDefaults(d Options) Options {
 	if o.Nodes == 0 {
-		o.Nodes = nodes
+		o.Nodes = d.Nodes
 	}
 	if o.MinIters == 0 {
-		o.MinIters = minIters
+		o.MinIters = d.MinIters
 	}
 	if o.MaxIters == 0 {
-		o.MaxIters = maxIters
+		o.MaxIters = d.MaxIters
+	}
+	// An inverted range would disable the convergence break and silently
+	// run every point to MaxIters; clamp instead.
+	if o.MinIters > o.MaxIters {
+		o.MinIters = o.MaxIters
 	}
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
 	if o.PPN == 0 {
 		o.PPN = 1
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if o.Panel == "" {
+		o.Panel = "A"
 	}
 	return o
 }
@@ -94,19 +115,12 @@ func Crystal(n int) System {
 			Groups:           2,
 			SwitchesPerGroup: 4 * cols,
 			NodesPerSwitch:   4,
-			GlobalPerPair:    maxi(8, per/8),
+			GlobalPerPair:    max(8, per/8),
 			Shape:            topology.Grid2D,
 			GridRows:         4,
 		}
 	}
 	return System{Name: "Aries (Crystal)", Prof: fabric.AriesProfile(), Topo: cfg}
-}
-
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // build instantiates the network for a system.
@@ -122,64 +136,3 @@ func nodeRange(n int) []topology.NodeID {
 	}
 	return out
 }
-
-// measureApp runs an application victim repeatedly under the paper's
-// protocol and returns per-iteration times in microseconds.
-func measureApp(j *mpi.Job, app workloads.App, rng *sim.RNG, minIters, maxIters int) *stats.Sample {
-	s := stats.NewSample(maxIters)
-	eng := j.Net.Eng
-	for i := 0; i < maxIters; i++ {
-		start := eng.Now()
-		fin := false
-		app.Iterate(j, rng, func() { fin = true })
-		eng.RunWhile(func() bool { return !fin })
-		if !fin {
-			break
-		}
-		s.Add((eng.Now() - start).Microseconds())
-		if i+1 >= minIters && s.Converged(0.05) {
-			break
-		}
-	}
-	return s
-}
-
-// table renders rows of labelled values as a fixed-width text table.
-func table(header []string, rows [][]string) string {
-	w := make([]int, len(header))
-	for i, h := range header {
-		w[i] = len(h)
-	}
-	for _, r := range rows {
-		for i, c := range r {
-			if i < len(w) && len(c) > w[i] {
-				w[i] = len(c)
-			}
-		}
-	}
-	var b strings.Builder
-	writeRow := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", w[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(header)
-	for i, width := range w {
-		if i > 0 {
-			b.WriteString("  ")
-		}
-		b.WriteString(strings.Repeat("-", width))
-	}
-	b.WriteByte('\n')
-	for _, r := range rows {
-		writeRow(r)
-	}
-	return b.String()
-}
-
-func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
-func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

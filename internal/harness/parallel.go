@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// GridPoint is one independent unit of a congestion-grid experiment: a
+// fully-specified cell plus the victim measured in it. Every point owns
+// its seed, builds its own network, and shares nothing with its
+// neighbours, so points are embarrassingly parallel while each
+// sim.Engine stays single-threaded and deterministic.
+type GridPoint struct {
+	Spec   CellSpec
+	Victim Victim
+}
+
+// RunGrid measures every point across a pool of jobs workers (jobs <= 0
+// means GOMAXPROCS) and returns results in point order. Because each
+// point's seed is fixed up front and results are written by index, the
+// output is identical for any worker count — jobs trades wall-clock time
+// only, never determinism.
+func RunGrid(points []GridPoint, jobs int) []CellResult {
+	out := make([]CellResult, len(points))
+	parallelFor(len(points), jobs, func(i int) {
+		out[i] = RunCell(points[i].Spec, points[i].Victim)
+	})
+	return out
+}
+
+// parallelFor runs f(0..n-1) across up to jobs goroutines.
+func parallelFor(n, jobs int, f func(int)) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelMap maps f over items with up to jobs workers, preserving
+// order. f must be independent per item (it is handed its own index's
+// input and writes only its own output slot).
+func parallelMap[T, R any](jobs int, items []T, f func(T) R) []R {
+	out := make([]R, len(items))
+	parallelFor(len(items), jobs, func(i int) {
+		out[i] = f(items[i])
+	})
+	return out
+}
