@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/congestion"
 	"repro/internal/ethernet"
 	"repro/internal/fabric"
@@ -280,6 +281,17 @@ func BenchmarkAblationEthernetMode(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPacketHotPath measures the per-packet cost of the fabric's hot
+// path (injection, routing, forwarding, scheduling, acks); ns/op and
+// allocs/op are per delivered data packet. The body lives in
+// internal/bench so cmd/benchreport can emit the same measurement into
+// the tracked BENCH_hotpath.json baseline.
+func BenchmarkPacketHotPath(b *testing.B) { bench.PacketHotPath(b) }
+
+// BenchmarkRunCell measures one full congestion-grid cell per iteration —
+// the unit the Fig. 9-14 grids scale by.
+func BenchmarkRunCell(b *testing.B) { bench.RunCell(b) }
 
 // Raw engine throughput: events scheduled and dispatched per second.
 func BenchmarkEngineThroughput(b *testing.B) {

@@ -1,0 +1,72 @@
+// Command benchreport runs the hot-path benchmark suite (internal/bench)
+// via testing.Benchmark and writes the measurements as a structured
+// results JSON file — the repo's tracked perf baseline:
+//
+//	go run ./cmd/benchreport                      # writes BENCH_hotpath.json
+//	go run ./cmd/benchreport -out - -format table # print to stdout
+//
+// Each row reports ns, allocations and bytes per unit (packet / cell), so
+// successive baselines are directly comparable. CI regenerates the file on
+// every run and uploads it as an artifact, giving every PR a perf
+// trajectory to compare against.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/results"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "output path ('-' for stdout)")
+	format := flag.String("format", "json", "output format: table|json|csv")
+	flag.Parse()
+
+	enc, err := results.NewEncoder(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(2)
+	}
+
+	res := results.New("bench-hotpath")
+	res.Meta.Desc = "hot-path perf baseline (ns/allocs/bytes per unit of work)"
+	t := res.AddTable("benchmarks", "benchmark", "unit", "iters", "ns/unit", "allocs/unit", "B/unit")
+	start := time.Now()
+	for _, bm := range bench.Suite() {
+		fmt.Fprintf(os.Stderr, "benchreport: running %s...\n", bm.Name)
+		r := testing.Benchmark(bm.Fn)
+		t.Row(
+			results.String(bm.Name),
+			results.String(bm.Unit),
+			results.Int(int64(r.N)),
+			results.Float(float64(r.T.Nanoseconds())/float64(r.N), 1),
+			results.Float(float64(r.MemAllocs)/float64(r.N), 2),
+			results.Float(float64(r.MemBytes)/float64(r.N), 1),
+		)
+	}
+	res.Meta.Wall = time.Since(start)
+
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := enc.Encode(w, res); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "benchreport: wrote %s\n", *out)
+	}
+}

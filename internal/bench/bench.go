@@ -1,0 +1,92 @@
+// Package bench holds the hot-path benchmark bodies shared between the
+// top-level go-test benchmarks (bench_test.go) and cmd/benchreport, which
+// runs them via testing.Benchmark and emits BENCH_hotpath.json through the
+// internal/results encoders. Keeping the bodies here means the perf
+// trajectory file and `go test -bench` always measure the same code.
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// PacketHotPath streams multi-packet eager messages across a small
+// two-group fabric (adaptive routing and Slingshot congestion control on,
+// jitter off) and counts delivered data packets, so ns/op and allocs/op
+// read directly as per-packet hot-path costs: NIC injection, source-switch
+// path choice, per-hop forwarding, DRR scheduling, credits, and the
+// end-to-end ack.
+func PacketHotPath(b *testing.B) {
+	topo := topology.MustNew(topology.Config{
+		Groups: 2, SwitchesPerGroup: 2, NodesPerSwitch: 8, GlobalPerPair: 2,
+	})
+	prof := fabric.SlingshotProfile()
+	prof.SwitchJitter = false
+	net := fabric.New(topo, prof, 5)
+	delivered := 0
+	net.Taps.OnPacketDelivered = func(p *fabric.Packet, _ sim.Time) { delivered++ }
+
+	// 8 flows x 4 outstanding 32 KiB eager messages (8 packets each) keep
+	// the fabric busy without saturating it into pathological queueing.
+	const msgBytes = 32 * 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	var post func(src, dst topology.NodeID)
+	post = func(src, dst topology.NodeID) {
+		if delivered >= b.N {
+			return
+		}
+		net.Send(src, dst, msgBytes, fabric.SendOpts{
+			NoRendezvous: true,
+			OnDelivered:  func(sim.Time) { post(src, dst) },
+		})
+	}
+	for i := 0; i < 8; i++ {
+		for w := 0; w < 4; w++ {
+			post(topology.NodeID(i), topology.NodeID(16+i))
+		}
+	}
+	net.Eng.RunWhile(func() bool { return delivered < b.N })
+}
+
+// RunCell runs one full congestion-grid cell per iteration — the unit of
+// work the Fig. 9-14 grids scale by (build network, measure the victim
+// isolated, start the aggressor, measure congested). ns/op is the cost of
+// one cell at reduced scale.
+func RunCell(b *testing.B) {
+	sys := harness.Shandy(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := harness.RunCell(harness.CellSpec{
+			Sys: sys, TotalNodes: 32, VictimFrac: 0.5,
+			Aggressor: harness.IncastAggressor, AggrPPN: 1,
+			Seed: 7, MinIters: 2, MaxIters: 3,
+		}, harness.BenchVictim(workloads.AllreduceBench(8)))
+		if r.NA {
+			b.Fatal("cell unexpectedly N.A.")
+		}
+	}
+}
+
+// Suite lists the hot-path benchmarks cmd/benchreport runs, with the unit
+// one iteration corresponds to.
+func Suite() []struct {
+	Name string
+	Unit string
+	Fn   func(*testing.B)
+} {
+	return []struct {
+		Name string
+		Unit string
+		Fn   func(*testing.B)
+	}{
+		{"PacketHotPath", "packet", PacketHotPath},
+		{"RunCell", "cell", RunCell},
+	}
+}

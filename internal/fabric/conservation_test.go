@@ -122,7 +122,7 @@ func TestPropertyCreditsBalance(t *testing.T) {
 		}
 	}
 	for _, sw := range n.switches {
-		for _, ports := range sw.portsTo {
+		for _, ports := range sw.ports {
 			for _, o := range ports {
 				check(o, "switch port")
 			}

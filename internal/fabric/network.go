@@ -32,6 +32,18 @@ type Network struct {
 	switches []*Switch
 	nics     []*NIC
 	msgID    int64
+	// pktFree is a deterministic free-list recycling Packet structs: a
+	// packet is released when it terminates at the destination NIC and
+	// reused for the next injection (the simulator is single-threaded, so
+	// no sync.Pool). Packet pointers must not be retained past the
+	// delivery tap.
+	pktFree []*Packet
+	// minPaths lazily caches Topo.MinimalPaths(src, dst, 4) per switch
+	// pair (index src*Switches+dst). Minimal-path enumeration is
+	// deterministic and RNG-free, so caching cannot perturb replay; it
+	// removes the per-packet path-construction allocations from adaptive
+	// routing. The cached paths are shared and must never be mutated.
+	minPaths [][]topology.Path
 
 	// Stats.
 	PacketsDelivered int64
@@ -71,22 +83,21 @@ func (n *Network) build() {
 	for i := range n.switches {
 		rng := n.rng.Split()
 		n.switches[i] = &Switch{
-			net:     n,
-			ID:      topology.SwitchID(i),
-			rng:     rng,
-			lat:     rosetta.NewLatencyModel(rng.Split()),
-			portsTo: make(map[topology.SwitchID][]*outPort),
-			edge:    make(map[topology.NodeID]*outPort),
+			net:       n,
+			ID:        topology.SwitchID(i),
+			rng:       rng,
+			lat:       rosetta.NewLatencyModel(rng.Split()),
+			ports:     make([][]*outPort, topo.NeighborCount(topology.SwitchID(i))),
+			edge:      make([]*outPort, topo.Cfg.NodesPerSwitch),
+			firstNode: i * topo.Cfg.NodesPerSwitch,
 		}
 	}
 	n.nics = make([]*NIC, topo.Nodes())
 	for i := range n.nics {
 		n.nics[i] = &NIC{
-			net:        n,
-			ID:         topology.NodeID(i),
-			cc:         congestion.NewController(prof.CC),
-			queues:     make(map[topology.NodeID][]*Message),
-			nextDataAt: make(map[topology.NodeID]sim.Time),
+			net: n,
+			ID:  topology.NodeID(i),
+			cc:  congestion.NewController(prof.CC),
 		}
 	}
 
@@ -113,7 +124,7 @@ func (n *Network) build() {
 				owner: sw, peerNIC: nic, edge: true,
 			}
 			down.phy, down.rng = newPhy()
-			sw.edge[l.Node] = down
+			sw.edge[int(l.Node)-sw.firstNode] = down
 			// NIC -> switch (the injection port), credited against the
 			// switch's input buffer.
 			up := &outPort{
@@ -143,10 +154,33 @@ func (n *Network) build() {
 				owner: b, peerSw: a, credits: prof.InputBufferBytes, global: global,
 			}
 			ba.phy, ba.rng = newPhy()
-			a.portsTo[l.B] = append(a.portsTo[l.B], ab)
-			b.portsTo[l.A] = append(b.portsTo[l.A], ba)
+			ia := topo.NeighborIndex(l.A, l.B)
+			ib := topo.NeighborIndex(l.B, l.A)
+			a.ports[ia] = append(a.ports[ia], ab)
+			b.ports[ib] = append(b.ports[ib], ba)
 		}
 	}
+}
+
+// allocPacket returns a zeroed packet from the free-list (or a fresh one).
+func (n *Network) allocPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// freePacket recycles a terminated packet. Callers must guarantee no live
+// references remain (delivery taps run before release and must not retain
+// the packet). The struct is zeroed here, not at alloc, so idle free-list
+// entries do not pin their last Message (and its completion closures) or
+// Path.
+func (n *Network) freePacket(p *Packet) {
+	*p = Packet{}
+	n.pktFree = append(n.pktFree, p)
 }
 
 // SendOpts configures one message.
@@ -209,7 +243,7 @@ func (n *Network) choosePath(s *Switch, p *Packet) topology.Path {
 	if src == dst {
 		return topology.Path{src}
 	}
-	minPaths := n.Topo.MinimalPaths(src, dst, 4)
+	minPaths := n.minimalPaths(src, dst)
 	if !n.Prof.AdaptiveRouting {
 		return minPaths[0]
 	}
@@ -249,6 +283,21 @@ func (n *Network) choosePath(s *Switch, p *Packet) topology.Path {
 	return best
 }
 
+// minimalPaths returns the cached minimal-path candidates between two
+// distinct switches, computing them on first use.
+func (n *Network) minimalPaths(src, dst topology.SwitchID) []topology.Path {
+	if n.minPaths == nil {
+		n.minPaths = make([][]topology.Path, n.Topo.Switches()*n.Topo.Switches())
+	}
+	key := int(src)*n.Topo.Switches() + int(dst)
+	ps := n.minPaths[key]
+	if ps == nil {
+		ps = n.Topo.MinimalPaths(src, dst, 4)
+		n.minPaths[key] = ps
+	}
+	return ps
+}
+
 // pathCost estimates a path's congestion: the queued bytes on each egress
 // port along it (the local one is exact; remote ones arrive via the credit
 // and ack piggyback channels of §II-C) plus a per-hop serialization charge,
@@ -258,7 +307,7 @@ func (n *Network) pathCost(path topology.Path, penalty float64) float64 {
 	cost := 0.0
 	for i := 0; i+1 < len(path); i++ {
 		sw := n.switches[path[i]]
-		ports := sw.portsTo[path[i+1]]
+		ports := sw.portsTo(path[i+1])
 		least := ports[0].queuedBytes()
 		for _, o := range ports[1:] {
 			if q := o.queuedBytes(); q < least {
@@ -297,23 +346,27 @@ func (n *Network) revLatency(path topology.Path) sim.Time {
 // width. It reports whether any usable lane remains.
 func (n *Network) DegradeLinkLanes(a, b topology.SwitchID) bool {
 	ok := false
-	for _, o := range n.switches[a].portsTo[b] {
+	for _, o := range n.switches[a].portsTo(b) {
 		if o.phy.DegradeLane() {
 			ok = true
 		}
 	}
-	for _, o := range n.switches[b].portsTo[a] {
-		o.phy.DegradeLane()
+	for _, o := range n.switches[b].portsTo(a) {
+		// The reverse direction's result counts too: a link with usable
+		// lanes in either direction is still (partially) usable.
+		if o.phy.DegradeLane() {
+			ok = true
+		}
 	}
 	return ok
 }
 
 // RestoreLinkLanes returns the links between two switches to full width.
 func (n *Network) RestoreLinkLanes(a, b topology.SwitchID) {
-	for _, o := range n.switches[a].portsTo[b] {
+	for _, o := range n.switches[a].portsTo(b) {
 		o.phy.RestoreLanes()
 	}
-	for _, o := range n.switches[b].portsTo[a] {
+	for _, o := range n.switches[b].portsTo(a) {
 		o.phy.RestoreLanes()
 	}
 }
@@ -322,7 +375,7 @@ func (n *Network) RestoreLinkLanes(a, b topology.SwitchID) {
 // NIC — the quantity endpoint congestion control watches.
 func (n *Network) QueuedAtEdge(node topology.NodeID) int64 {
 	sw := n.switches[n.Topo.SwitchOf(node)]
-	return sw.edge[node].queuedBytes()
+	return sw.edgePort(node).queuedBytes()
 }
 
 // RunFor advances the simulation by d.

@@ -15,13 +15,17 @@ type NIC struct {
 	cc  *congestion.Controller
 	inj *outPort
 
-	queues map[topology.NodeID][]*Message
+	// Per-destination send state, slice-indexed by destination node ID so
+	// the injection loop does zero map lookups. Allocated lazily on the
+	// first submit: NICs that only ever receive pay nothing.
+	queues [][]*Message
+	active []bool            // active[dst]: dst currently in order
 	order  []topology.NodeID // active destinations, round-robin
 	rr     int
 	// nextDataAt gates the start of the next rendezvous transfer per
 	// destination (sender-side completion/descriptor handling between
 	// bulk messages; see rendezvousMsgGap).
-	nextDataAt map[topology.NodeID]sim.Time
+	nextDataAt []sim.Time
 
 	hostFreeAt sim.Time
 	pumpEv     *sim.Event
@@ -88,7 +92,14 @@ func (n *NIC) submit(m *Message) {
 	m.hostReady = n.hostFreeAt
 	m.dataReady = !m.Rendezvous
 
-	if _, ok := n.queues[m.Dst]; !ok {
+	if n.queues == nil {
+		nodes := n.net.Topo.Nodes()
+		n.queues = make([][]*Message, nodes)
+		n.active = make([]bool, nodes)
+		n.nextDataAt = make([]sim.Time, nodes)
+	}
+	if !n.active[m.Dst] {
+		n.active[m.Dst] = true
 		n.order = append(n.order, m.Dst)
 	}
 	n.queues[m.Dst] = append(n.queues[m.Dst], m)
@@ -113,16 +124,31 @@ func (n *NIC) pump() {
 		n.inj.sched.Enqueue(p.Class, int(bufBytes(p)), p)
 		n.inj.pump()
 	}
-	if earliest > now {
-		n.schedulePump(earliest)
+	n.scheduleRetry(now, earliest)
+}
+
+// scheduleRetry schedules the next pump for a retry deadline returned by
+// nextPacket (zero means nothing to retry). A deadline at or before now —
+// a pacing edge — must still get a wakeup (at now+1); silently dropping it
+// would stall the queue until some unrelated event happened to re-pump.
+func (n *NIC) scheduleRetry(now, earliest sim.Time) {
+	if earliest <= 0 {
+		return
 	}
+	if earliest <= now {
+		earliest = now + 1
+	}
+	n.schedulePump(earliest)
 }
 
 func (n *NIC) schedulePump(at sim.Time) {
-	if n.pumpEv != nil && !n.pumpEv.Cancelled() && n.pumpEv.At <= at {
-		return
-	}
+	// Invariant: pumpEv is nil or a live queued event (the callback nils
+	// it first thing; the cancel below reassigns immediately) — required
+	// now that the engine recycles Event structs.
 	if n.pumpEv != nil {
+		if n.pumpEv.At <= at {
+			return
+		}
 		n.net.Eng.Cancel(n.pumpEv)
 	}
 	n.pumpEv = n.net.Eng.Schedule(at, func() {
@@ -150,7 +176,9 @@ func (n *NIC) nextPacket(now sim.Time) (*Packet, sim.Time) {
 			if mj.Rendezvous && !mj.rtsSent && now >= mj.hostReady {
 				mj.rtsSent = true
 				n.rr = (idx + 1) % len(n.order)
-				return &Packet{Msg: mj, Payload: 0, Class: mj.Class, ctrl: true, sentAt: now}, 0
+				p := n.net.allocPacket()
+				p.Msg, p.Class, p.ctrl, p.sentAt = mj, mj.Class, true, now
+				return p, 0
 			}
 		}
 		m := q[0]
@@ -191,7 +219,8 @@ func (n *NIC) nextPacket(now sim.Time) (*Packet, sim.Time) {
 			continue
 		}
 		n.cc.OnSend(dst, size, now)
-		p := &Packet{Msg: m, Seq: m.nextSeq, Payload: int(size), Class: m.Class, sentAt: now}
+		p := n.net.allocPacket()
+		p.Msg, p.Seq, p.Payload, p.Class, p.sentAt = m, m.nextSeq, int(size), m.Class, now
 		m.nextSeq++
 		if m.nextSeq >= m.numPackets {
 			if m.Rendezvous {
@@ -201,24 +230,18 @@ func (n *NIC) nextPacket(now sim.Time) (*Packet, sim.Time) {
 			// by the message itself).
 			n.queues[dst] = q[1:]
 			if len(n.queues[dst]) == 0 {
-				delete(n.queues, dst)
+				n.queues[dst] = nil
+				n.active[dst] = false
 				n.removeOrder(dst)
 				// Note: rr now indexes a shifted slice; harmless for
 				// round-robin fairness.
 				return p, 0
 			}
 		}
-		n.rr = (idx + 1) % maxi(1, len(n.order))
+		n.rr = (idx + 1) % max(1, len(n.order))
 		return p, 0
 	}
 	return nil, earliest
-}
-
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func (n *NIC) removeOrder(dst topology.NodeID) {
@@ -242,7 +265,9 @@ func (n *NIC) retransmit(p *Packet) {
 	n.inj.pump()
 }
 
-// deliver receives a packet off the edge link.
+// deliver receives a packet off the edge link. The packet terminates
+// here: it is recycled onto the network's free-list once the taps and ack
+// scheduling have run, so taps must not retain it.
 func (n *NIC) deliver(p *Packet) {
 	now := n.net.Eng.Now()
 	m := p.Msg
@@ -254,6 +279,15 @@ func (n *NIC) deliver(p *Packet) {
 			m.dataReady = true
 			src.pump()
 		})
+		n.net.freePacket(p)
+		return
+	}
+	if !m.markDelivered(p.Seq) {
+		// Duplicate delivery (a late original plus its end-to-end
+		// retransmit): the first copy already counted, fired the taps and
+		// acked; a second would inflate the stats and double-fire
+		// OnDelivered/OnAcked. Not recycled: the first copy may be the
+		// same recycled struct, and freeing twice would corrupt the list.
 		return
 	}
 	m.delivered++
@@ -283,4 +317,5 @@ func (n *NIC) deliver(p *Packet) {
 		}
 		src.pump()
 	})
+	n.net.freePacket(p)
 }

@@ -50,9 +50,14 @@ type Message struct {
 	hostReady  sim.Time // host per-message overhead satisfied
 	dataReady  bool     // rendezvous handshake completed (or not needed)
 	rtsSent    bool
-	// Completion state.
+	// Completion state. seen0/seen form a per-Seq delivery bitmap: with
+	// FrameBER>0 and end-to-end retries, a late original and its
+	// retransmit may both arrive, and only the first may count. Messages
+	// of up to 64 packets use the inline word (no allocation).
 	delivered int
 	acked     int
+	seen0     uint64
+	seen      []uint64
 
 	SubmittedAt sim.Time
 	DeliveredAt sim.Time
@@ -60,3 +65,29 @@ type Message struct {
 
 // Done reports whether all data packets have been delivered.
 func (m *Message) Done() bool { return m.delivered >= m.numPackets }
+
+// markDelivered records the first delivery of packet seq and reports
+// whether it was new; a duplicate (late original plus retransmit) returns
+// false and must not count again.
+func (m *Message) markDelivered(seq int) bool {
+	if seq < 0 || seq >= m.numPackets {
+		return false
+	}
+	if m.numPackets <= 64 {
+		bit := uint64(1) << seq
+		if m.seen0&bit != 0 {
+			return false
+		}
+		m.seen0 |= bit
+		return true
+	}
+	if m.seen == nil {
+		m.seen = make([]uint64, (m.numPackets+63)/64)
+	}
+	w, bit := seq/64, uint64(1)<<(seq%64)
+	if m.seen[w]&bit != 0 {
+		return false
+	}
+	m.seen[w] |= bit
+	return true
+}

@@ -13,15 +13,36 @@ type Switch struct {
 	ID  topology.SwitchID
 	rng *sim.RNG
 	lat *rosetta.LatencyModel
-	// portsTo holds the (possibly parallel) egress ports towards each
-	// adjacent switch.
-	portsTo map[topology.SwitchID][]*outPort
-	// edge holds the egress port towards each locally attached NIC.
-	edge map[topology.NodeID]*outPort
+	// ports[i] holds the (possibly parallel) egress ports towards the
+	// i-th adjacent switch, indexed by the topology's dense neighbor
+	// index (Dragonfly.NeighborIndex) — resolved at build time so the
+	// per-hop forwarding path does zero map lookups.
+	ports [][]*outPort
+	// edge[i] is the egress port towards the i-th locally attached NIC
+	// (node ID minus firstNode; nodes are numbered switch-major).
+	edge      []*outPort
+	firstNode int
 	// inPort/outPort sampling for the traversal latency model: we don't
 	// track physical port numbers per packet, so traversals sample a
 	// uniformly random (in, out) pair — matching the measured Fig. 2
 	// distribution over many flows.
+}
+
+// portsTo returns the parallel egress ports towards an adjacent switch,
+// or nil when the switches are not adjacent (matching the old map
+// lookup's behaviour for callers like DegradeLinkLanes that probe
+// arbitrary pairs).
+func (s *Switch) portsTo(next topology.SwitchID) []*outPort {
+	i := s.net.Topo.NeighborIndex(s.ID, next)
+	if i < 0 {
+		return nil
+	}
+	return s.ports[i]
+}
+
+// edgePort returns the egress port towards a locally attached NIC.
+func (s *Switch) edgePort(n topology.NodeID) *outPort {
+	return s.edge[int(n)-s.firstNode]
 }
 
 // arrive receives a packet from an upstream link. The input-buffer space
@@ -49,7 +70,7 @@ func (s *Switch) forward(p *Packet) {
 	var o *outPort
 	if p.hop == len(p.Path)-1 {
 		// Final switch: egress to the destination NIC.
-		o = s.edge[p.Msg.Dst]
+		o = s.edgePort(p.Msg.Dst)
 	} else {
 		next := p.Path[p.hop+1]
 		p.hop++
@@ -61,7 +82,7 @@ func (s *Switch) forward(p *Packet) {
 // bestPortTo picks the least-loaded parallel link towards an adjacent
 // switch.
 func (s *Switch) bestPortTo(next topology.SwitchID) *outPort {
-	ports := s.portsTo[next]
+	ports := s.portsTo(next)
 	best := ports[0]
 	for _, o := range ports[1:] {
 		if o.queuedBytes() < best.queuedBytes() {

@@ -105,6 +105,10 @@ type PortScheduler struct {
 	bucketFrom sim.Time
 	totalQ     int64
 	count      int
+	// Per-Dequeue scratch (the scheduler is single-threaded per network;
+	// reusing these keeps the per-packet path allocation-free).
+	activeBuf []bool
+	shareBuf  []float64
 }
 
 // quantumBase is the DRR base quantum (one max-size frame).
@@ -114,13 +118,15 @@ const quantumBase = 4200
 func NewPortScheduler(cfg *Config, linkBits int64) *PortScheduler {
 	n := len(cfg.Classes)
 	return &PortScheduler{
-		cfg:      cfg,
-		linkBits: linkBits,
-		queues:   make([][]entry, n),
-		head:     make([]int, n),
-		qbytes:   make([]int64, n),
-		deficit:  make([]int64, n),
-		sent:     make([]int64, n),
+		cfg:       cfg,
+		linkBits:  linkBits,
+		queues:    make([][]entry, n),
+		head:      make([]int, n),
+		qbytes:    make([]int64, n),
+		deficit:   make([]int64, n),
+		sent:      make([]int64, n),
+		activeBuf: make([]bool, n),
+		shareBuf:  make([]float64, n),
 	}
 }
 
@@ -148,8 +154,7 @@ func (s *PortScheduler) TotalQueuedBytes() int64 { return s.totalQ }
 // bandwidth not guaranteed to anyone (§II-E / Fig. 14). Classes with no
 // guarantee get a small epsilon so they are never starved.
 func (s *PortScheduler) effectiveShare(active []bool) []float64 {
-	n := len(s.cfg.Classes)
-	share := make([]float64, n)
+	share := s.shareBuf
 	var allocated float64
 	for i, cl := range s.cfg.Classes {
 		share[i] = cl.MinShare
@@ -211,8 +216,7 @@ func (s *PortScheduler) Dequeue(now sim.Time, maxWire int) (v any, wire int, cla
 	if s.count == 0 {
 		return nil, 0, 0, false, 0
 	}
-	n := len(s.cfg.Classes)
-	active := make([]bool, n)
+	active := s.activeBuf
 	for i := range active {
 		active[i] = s.qbytes[i] > 0
 	}

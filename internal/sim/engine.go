@@ -4,6 +4,13 @@ import "container/heap"
 
 // Event is a scheduled callback. Events are ordered by time; ties are broken
 // by insertion order so the simulation is fully deterministic.
+//
+// Lifetime: the engine recycles Event structs through a deterministic
+// free-list (no sync.Pool — the engine is single-threaded). An *Event
+// returned by Schedule/After is valid until its callback has run or it
+// has been cancelled; after that the engine may reuse the struct for a
+// future Schedule, so holders must drop their pointer (the idiomatic
+// pattern is to nil the field as the first statement of the callback).
 type Event struct {
 	At  Time
 	Fn  func()
@@ -51,6 +58,9 @@ type Engine struct {
 	queue  eventHeap
 	seq    int64
 	nsteps int64
+	// free recycles fired/cancelled events; the hot path allocates no
+	// Event structs once the simulation reaches steady state.
+	free []*Event
 }
 
 // NewEngine returns an engine positioned at the simulation epoch.
@@ -74,7 +84,16 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	var ev *Event
+	if k := len(e.free); k > 0 {
+		ev = e.free[k-1]
+		e.free[k-1] = nil
+		e.free = e.free[:k-1]
+		ev.At, ev.Fn = at, fn
+	} else {
+		ev = &Event{At: at, Fn: fn}
+	}
+	ev.seq = e.seq
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -85,14 +104,22 @@ func (e *Engine) After(delay Time, fn func()) *Event {
 	return e.Schedule(e.now+delay, fn)
 }
 
-// Cancel removes a queued event. Cancelling an already-run or
-// already-cancelled event is a no-op.
+// Cancel removes a queued event and recycles it. Cancelling an
+// already-run or already-cancelled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.idx < 0 {
 		return
 	}
 	heap.Remove(&e.queue, ev.idx)
 	ev.idx = -1
+	e.release(ev)
+}
+
+// release returns an event to the free-list, dropping its closure so the
+// captured state becomes collectable.
+func (e *Engine) release(ev *Event) {
+	ev.Fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Step runs the earliest event. It reports false when the queue is empty.
@@ -103,7 +130,11 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.At
 	e.nsteps++
-	ev.Fn()
+	fn := ev.Fn
+	fn()
+	// Recycle after the callback: any holder following the contract has
+	// dropped its pointer by now (callbacks nil their field first).
+	e.release(ev)
 	return true
 }
 

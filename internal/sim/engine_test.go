@@ -372,3 +372,46 @@ func TestRNGSplitIndependence(t *testing.T) {
 		t.Errorf("split streams agree %d/1000 times", same)
 	}
 }
+
+func TestEventFreeListRecycles(t *testing.T) {
+	// The engine recycles Event structs through a deterministic free-list:
+	// a fired or cancelled event's struct backs a later Schedule. This
+	// pins the no-allocation steady state of the hot path.
+	e := NewEngine()
+	ran := 0
+	ev1 := e.Schedule(Nanosecond, func() { ran++ })
+	e.Run()
+	ev2 := e.Schedule(2*Nanosecond, func() { ran++ })
+	if ev2 != ev1 {
+		t.Error("fired event struct was not recycled")
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	ev3 := e.Schedule(3*Nanosecond, func() { t.Error("cancelled event ran") })
+	e.Cancel(ev3)
+	ev4 := e.Schedule(4*Nanosecond, func() { ran++ })
+	if ev4 != ev3 {
+		t.Error("cancelled event struct was not recycled")
+	}
+	e.Run()
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+}
+
+func TestEventFreeListDropsClosure(t *testing.T) {
+	// Released events must not pin their callback closures.
+	e := NewEngine()
+	ev := e.Schedule(Nanosecond, func() {})
+	e.Run()
+	if ev.Fn != nil {
+		t.Error("fired event still references its closure")
+	}
+	ev2 := e.Schedule(Nanosecond, func() {})
+	e.Cancel(ev2)
+	if ev2.Fn != nil {
+		t.Error("cancelled event still references its closure")
+	}
+}

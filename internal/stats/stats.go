@@ -128,8 +128,9 @@ func (s *Sample) Percentile(p float64) float64 { return s.Quantile(p / 100) }
 
 // BoxStats is the five-number summary used in Fig. 4 of the paper:
 // Q1 and Q3 are the quartiles, IQR = Q3-Q1, S is the smallest sample
-// greater than Q1 - 1.5*IQR, and L is the largest sample smaller than
-// Q3 + 1.5*IQR.
+// strictly greater than Q1 - 1.5*IQR, and L is the largest sample strictly
+// smaller than Q3 + 1.5*IQR (the caption's "greater than" / "smaller than"
+// are strict: a sample sitting exactly on a fence is an outlier).
 type BoxStats struct {
 	S, Q1, Median, Q3, L float64
 }
@@ -144,15 +145,12 @@ func (s *Sample) Box() BoxStats {
 	iqr := b.Q3 - b.Q1
 	loFence := b.Q1 - 1.5*iqr
 	hiFence := b.Q3 + 1.5*iqr
-	b.S = math.Inf(1)
-	b.L = math.Inf(-1)
-	for _, x := range s.xs {
-		if x >= loFence && x < b.S {
-			b.S = x
-		}
-		if x <= hiFence && x > b.L {
-			b.L = x
-		}
+	b.S, b.L = whiskers(s.xs, loFence, hiFence, true)
+	if b.S > b.L || math.IsInf(b.S, 1) || math.IsInf(b.L, -1) {
+		// Degenerate distributions (zero IQR with ties exactly on a fence)
+		// leave a whisker with no strictly qualifying sample; fall back to
+		// inclusive fences so the whiskers stay ordered and within the data.
+		b.S, b.L = whiskers(s.xs, loFence, hiFence, false)
 	}
 	if math.IsInf(b.S, 1) {
 		b.S = math.NaN()
@@ -161,6 +159,25 @@ func (s *Sample) Box() BoxStats {
 		b.L = math.NaN()
 	}
 	return b
+}
+
+// whiskers returns the extreme samples within the fences, using strict
+// comparisons when strict is set.
+func whiskers(xs []float64, loFence, hiFence float64, strict bool) (s, l float64) {
+	s, l = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		loOK, hiOK := x >= loFence, x <= hiFence
+		if strict {
+			loOK, hiOK = x > loFence, x < hiFence
+		}
+		if loOK && x < s {
+			s = x
+		}
+		if hiOK && x > l {
+			l = x
+		}
+	}
+	return s, l
 }
 
 // MedianCI returns a distribution-free (binomial/order-statistic) 95%
@@ -226,6 +243,7 @@ type Histogram struct {
 	N      int
 	Under  int // observations below Lo
 	Over   int // observations above Hi
+	Bad    int // NaN observations (counted in N, never binned)
 }
 
 // NewHistogram creates a histogram with the given bucket count.
@@ -240,6 +258,10 @@ func NewHistogram(lo, hi float64, buckets int) *Histogram {
 func (h *Histogram) Add(x float64) {
 	h.N++
 	switch {
+	case math.IsNaN(x):
+		// A NaN fails every bound check and would fall through to the
+		// bucket computation, where int(NaN) is a negative index.
+		h.Bad++
 	case x < h.Lo:
 		h.Under++
 	case x > h.Hi:

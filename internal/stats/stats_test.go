@@ -237,6 +237,64 @@ func TestHistogramEdges(t *testing.T) {
 	}
 }
 
+func TestHistogramNaN(t *testing.T) {
+	// A NaN observation must not panic (int(NaN) is a negative bucket
+	// index) and must be counted under Bad, not in any bucket.
+	h := NewHistogram(0, 10, 5)
+	h.Add(math.NaN())
+	h.Add(5)
+	h.Add(math.NaN())
+	if h.Bad != 2 {
+		t.Errorf("Bad = %d, want 2", h.Bad)
+	}
+	if h.N != 3 || h.Under != 0 || h.Over != 0 {
+		t.Errorf("N=%d Under=%d Over=%d", h.N, h.Under, h.Over)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 1 {
+		t.Errorf("binned %d observations, want 1", total)
+	}
+	// Infinities still land in the overflow counters.
+	h.Add(math.Inf(1))
+	h.Add(math.Inf(-1))
+	if h.Under != 1 || h.Over != 1 || h.Bad != 2 {
+		t.Errorf("after Inf: Under=%d Over=%d Bad=%d", h.Under, h.Over, h.Bad)
+	}
+}
+
+func TestBoxFencesAreStrict(t *testing.T) {
+	// Sorted: [3 10 12 14 16 23], Q1 = 10.5, Q3 = 15.5, IQR = 5, so the
+	// fences are exactly 3 and 23 — both present in the data. The Fig. 4
+	// caption's "greater than" / "smaller than" are strict, so samples
+	// sitting exactly on a fence are outliers and excluded.
+	s := FromSlice([]float64{3, 10, 12, 14, 16, 23})
+	b := s.Box()
+	if b.S != 10 {
+		t.Errorf("S = %v, want 10 (3 sits exactly on the low fence)", b.S)
+	}
+	if b.L != 16 {
+		t.Errorf("L = %v, want 16 (23 sits exactly on the high fence)", b.L)
+	}
+}
+
+func TestBoxDegenerateTies(t *testing.T) {
+	// Zero IQR puts both fences on the tied value; strict fences would
+	// exclude everything (or cross), so Box falls back to inclusive ones.
+	s := FromSlice([]float64{0, 2, 2, 2, 2, 4})
+	b := s.Box()
+	if b.S != 2 || b.L != 2 {
+		t.Errorf("degenerate whiskers = (%v, %v), want (2, 2)", b.S, b.L)
+	}
+	// All-equal samples keep well-defined whiskers too.
+	c := FromSlice([]float64{7, 7, 7, 7}).Box()
+	if c.S != 7 || c.L != 7 {
+		t.Errorf("constant whiskers = (%v, %v), want (7, 7)", c.S, c.L)
+	}
+}
+
 func TestSampleSortStability(t *testing.T) {
 	// Quantile must not corrupt subsequent Adds.
 	s := FromSlice([]float64{3, 1, 2})

@@ -12,7 +12,7 @@ func (p Path) InterSwitchHops() int { return len(p) - 1 }
 
 // localAdjacent reports whether two distinct switches share a direct link.
 func (d *Dragonfly) localAdjacent(a, b SwitchID) bool {
-	return len(d.neighbors[a][b]) > 0
+	return d.adjIndex[a][b] >= 0
 }
 
 // intraPaths returns the minimal intra-group paths between two switches of
@@ -37,18 +37,20 @@ func (d *Dragonfly) intraPaths(a, b SwitchID) []Path {
 
 // compose concatenates path segments, merging equal junction switches. It
 // returns nil if the result revisits a switch (the caller filters).
+// Paths are at most a handful of switches, so the revisit check is a
+// linear scan rather than a map (this runs per routing decision).
 func (d *Dragonfly) compose(segs ...Path) Path {
 	var out Path
-	seen := make(map[SwitchID]bool, 8)
 	for _, seg := range segs {
 		for i, s := range seg {
 			if len(out) > 0 && i == 0 && out[len(out)-1] == s {
 				continue // shared junction
 			}
-			if seen[s] {
-				return nil
+			for _, prev := range out {
+				if prev == s {
+					return nil
+				}
 			}
-			seen[s] = true
 			out = append(out, s)
 		}
 	}
@@ -258,7 +260,7 @@ func (d *Dragonfly) Valid(p Path) bool {
 			return false
 		}
 		seen[s] = true
-		if i > 0 && len(d.neighbors[p[i-1]][s]) == 0 {
+		if i > 0 && d.adjIndex[p[i-1]][s] < 0 {
 			return false
 		}
 	}

@@ -157,8 +157,14 @@ type Dragonfly struct {
 	// rows/cols of the intra-group grid (1 x SwitchesPerGroup for
 	// FullMesh).
 	rows, cols int
-	// adjacency: for each switch, the link IDs grouped by neighbor switch.
-	neighbors []map[SwitchID][]int
+	// Slice-indexed adjacency (no maps — the routing hot path queries it
+	// per hop): adj[s] lists s's neighbor switches in link-discovery
+	// order, adjLinks[s][i] the (parallel) link IDs towards adj[s][i],
+	// and adjIndex[s][t] the index i such that adj[s][i] == t, or -1 when
+	// s and t are not adjacent.
+	adj      [][]SwitchID
+	adjLinks [][][]int
+	adjIndex [][]int32
 	// globalOut[g1][g2] lists link IDs connecting group g1 to group g2.
 	globalOut [][][]int
 	// edge[n] is the link ID of node n's edge link.
@@ -180,9 +186,15 @@ func New(cfg Config) (*Dragonfly, error) {
 		rows:  rows,
 		cols:  cols,
 	}
-	d.neighbors = make([]map[SwitchID][]int, d.sw)
-	for i := range d.neighbors {
-		d.neighbors[i] = make(map[SwitchID][]int)
+	d.adj = make([][]SwitchID, d.sw)
+	d.adjLinks = make([][][]int, d.sw)
+	d.adjIndex = make([][]int32, d.sw)
+	idx := make([]int32, d.sw*d.sw)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i := range d.adjIndex {
+		d.adjIndex[i] = idx[i*d.sw : (i+1)*d.sw]
 	}
 	d.globalOut = make([][][]int, cfg.Groups)
 	for g := range d.globalOut {
@@ -202,12 +214,16 @@ func New(cfg Config) (*Dragonfly, error) {
 		d.edge[n] = addLink(EdgeLink, s, s, NodeID(n))
 	}
 
+	// addAdj records link id in both directions of the adjacency.
+	addAdj := func(a, b SwitchID, id int) {
+		d.addAdjDir(a, b, id)
+		d.addAdjDir(b, a, id)
+	}
+
 	// Local links: full mesh within each group, or — for Grid2D (Aries) —
 	// all-to-all inside each row and inside each column.
 	addLocal := func(a, b SwitchID) {
-		id := addLink(LocalLink, a, b, -1)
-		d.neighbors[a][b] = append(d.neighbors[a][b], id)
-		d.neighbors[b][a] = append(d.neighbors[b][a], id)
+		addAdj(a, b, addLink(LocalLink, a, b, -1))
 	}
 	for g := 0; g < cfg.Groups; g++ {
 		base := SwitchID(g * cfg.SwitchesPerGroup)
@@ -237,14 +253,25 @@ func New(cfg Config) (*Dragonfly, error) {
 				rr[g1] = (rr[g1] + 1) % cfg.SwitchesPerGroup
 				rr[g2] = (rr[g2] + 1) % cfg.SwitchesPerGroup
 				id := addLink(GlobalLink, a, b, -1)
-				d.neighbors[a][b] = append(d.neighbors[a][b], id)
-				d.neighbors[b][a] = append(d.neighbors[b][a], id)
+				addAdj(a, b, id)
 				d.globalOut[g1][g2] = append(d.globalOut[g1][g2], id)
 				d.globalOut[g2][g1] = append(d.globalOut[g2][g1], id)
 			}
 		}
 	}
 	return d, nil
+}
+
+// addAdjDir appends link id to the a->b adjacency.
+func (d *Dragonfly) addAdjDir(a, b SwitchID, id int) {
+	i := d.adjIndex[a][b]
+	if i < 0 {
+		i = int32(len(d.adj[a]))
+		d.adjIndex[a][b] = i
+		d.adj[a] = append(d.adj[a], b)
+		d.adjLinks[a] = append(d.adjLinks[a], nil)
+	}
+	d.adjLinks[a][i] = append(d.adjLinks[a][i], id)
 }
 
 // MustNew is New but panics on error; for tests and fixed example configs.
@@ -283,8 +310,23 @@ func (d *Dragonfly) EdgeLinkOf(n NodeID) int { return d.edge[n] }
 // LinksBetween returns the IDs of the (parallel) links directly connecting
 // switches a and b, or nil when they are not adjacent.
 func (d *Dragonfly) LinksBetween(a, b SwitchID) []int {
-	return d.neighbors[a][b]
+	if i := d.adjIndex[a][b]; i >= 0 {
+		return d.adjLinks[a][i]
+	}
+	return nil
 }
+
+// NeighborIndex returns b's dense index in a's neighbor list (the order
+// Neighbors reports), or -1 when the switches are not adjacent. The index
+// is stable for the lifetime of the topology, so per-switch runtime state
+// (e.g. fabric egress-port tables) can be slice-indexed by it — the
+// routing hot path does zero map lookups per hop.
+func (d *Dragonfly) NeighborIndex(a, b SwitchID) int {
+	return int(d.adjIndex[a][b])
+}
+
+// NeighborCount returns the number of switches adjacent to s.
+func (d *Dragonfly) NeighborCount(s SwitchID) int { return len(d.adj[s]) }
 
 // GlobalLinks returns the IDs of the global links between groups g1 and g2.
 func (d *Dragonfly) GlobalLinks(g1, g2 GroupID) []int {
@@ -294,12 +336,11 @@ func (d *Dragonfly) GlobalLinks(g1, g2 GroupID) []int {
 	return d.globalOut[g1][g2]
 }
 
-// Neighbors returns the switches adjacent to s.
+// Neighbors returns the switches adjacent to s, in deterministic
+// link-discovery order (the same order NeighborIndex indexes).
 func (d *Dragonfly) Neighbors(s SwitchID) []SwitchID {
-	out := make([]SwitchID, 0, len(d.neighbors[s]))
-	for n := range d.neighbors[s] {
-		out = append(out, n)
-	}
+	out := make([]SwitchID, len(d.adj[s]))
+	copy(out, d.adj[s])
 	return out
 }
 
