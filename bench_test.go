@@ -293,19 +293,24 @@ func BenchmarkPacketHotPath(b *testing.B) { bench.PacketHotPath(b) }
 // the unit the Fig. 9-14 grids scale by.
 func BenchmarkRunCell(b *testing.B) { bench.RunCell(b) }
 
+// engineTicker drives BenchmarkEngineThroughput through the closure-free
+// Handler interface — the same dispatch path the fabric uses.
+type engineTicker struct{ n, max int }
+
+func (t *engineTicker) OnEvent(e *sim.Engine, _ *sim.Event) {
+	t.n++
+	if t.n < t.max {
+		e.After(sim.Nanosecond, t, 0, nil)
+	}
+}
+
 // Raw engine throughput: events scheduled and dispatched per second.
 func BenchmarkEngineThroughput(b *testing.B) {
 	e := sim.NewEngine()
+	t := &engineTicker{max: b.N}
+	b.ReportAllocs()
 	b.ResetTimer()
-	n := 0
-	var tick func()
-	tick = func() {
-		n++
-		if n < b.N {
-			e.After(sim.Nanosecond, tick)
-		}
-	}
-	e.After(0, tick)
+	e.After(0, t, 0, nil)
 	e.Run()
 }
 

@@ -5,10 +5,15 @@
 //	go run ./cmd/benchreport                      # writes BENCH_hotpath.json
 //	go run ./cmd/benchreport -out - -format table # print to stdout
 //
-// Each row reports ns, allocations and bytes per unit (packet / cell), so
-// successive baselines are directly comparable. CI regenerates the file on
-// every run and uploads it as an artifact, giving every PR a perf
-// trajectory to compare against.
+//	# Compare against a previous baseline: prints per-benchmark deltas
+//	# and exits non-zero when ns/unit regresses past -max-regress.
+//	go run ./cmd/benchreport -baseline BENCH_hotpath.json -out BENCH_new.json
+//
+// Each row reports ns, allocations and bytes per unit (packet / cell),
+// and the meta block stamps the git revision and Go toolchain, so
+// successive baselines are directly comparable and attributable. CI runs
+// the compare mode against the committed baseline on every push, failing
+// the build on a regression instead of silently uploading an artifact.
 package main
 
 import (
@@ -16,6 +21,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
 	"testing"
 	"time"
 
@@ -26,7 +35,18 @@ import (
 func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "output path ('-' for stdout)")
 	format := flag.String("format", "json", "output format: table|json|csv")
+	baseline := flag.String("baseline", "", "previous BENCH_hotpath.json to compare against")
+	maxRegress := flag.Float64("max-regress", 0.15,
+		"with -baseline: max tolerated regression (fraction) on the gated metric before exiting non-zero")
+	gate := flag.String("gate", "ns",
+		"with -baseline: which metric the -max-regress threshold applies to: ns|allocs|both. "+
+			"ns/unit only compares runs from the same machine; allocs/unit is "+
+			"machine-independent (the simulator is deterministic), so CI gates on it")
 	flag.Parse()
+	if *gate != "ns" && *gate != "allocs" && *gate != "both" {
+		fmt.Fprintf(os.Stderr, "benchreport: -gate %q (want ns|allocs|both)\n", *gate)
+		os.Exit(2)
+	}
 
 	enc, err := results.NewEncoder(*format)
 	if err != nil {
@@ -36,6 +56,8 @@ func main() {
 
 	res := results.New("bench-hotpath")
 	res.Meta.Desc = "hot-path perf baseline (ns/allocs/bytes per unit of work)"
+	res.Meta.Rev = gitRev()
+	res.Meta.GoVersion = runtime.Version()
 	t := res.AddTable("benchmarks", "benchmark", "unit", "iters", "ns/unit", "allocs/unit", "B/unit")
 	start := time.Now()
 	for _, bm := range bench.Suite() {
@@ -69,4 +91,130 @@ func main() {
 	if *out != "-" {
 		fmt.Fprintf(os.Stderr, "benchreport: wrote %s\n", *out)
 	}
+
+	if *baseline != "" {
+		regressed, err := compare(os.Stderr, *baseline, res, *maxRegress, *gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(3)
+		}
+	}
+}
+
+// compare prints per-benchmark ns/unit and allocs/unit deltas of the
+// fresh run against a stored baseline and reports whether any gated
+// metric regressed by more than maxRegress. Benchmarks present on only
+// one side are reported but never fail the comparison (suites may grow
+// or shrink).
+func compare(w io.Writer, path string, fresh *results.Result, maxRegress float64, gate string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	base, err := results.DecodeJSON(f)
+	if err != nil {
+		return false, fmt.Errorf("baseline %s: %w", path, err)
+	}
+
+	baseRows := benchRows(base)
+	rev := base.Meta.Rev
+	if rev == "" {
+		rev = "unknown rev"
+	}
+	fmt.Fprintf(w, "benchreport: comparing against %s (%s)\n", path, rev)
+	regressed := false
+	for _, row := range benchRows(fresh) {
+		name := row.name
+		old, ok := baseRows[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-16s new benchmark (no baseline entry)\n", name)
+			continue
+		}
+		delete(baseRows, name)
+		dns := delta(old.ns, row.ns)
+		dallocs := delta(old.allocs, row.allocs)
+		fmt.Fprintf(w, "  %-16s ns/unit %11.1f -> %11.1f (%+6.1f%%)  allocs/unit %9.1f -> %9.1f (%+6.1f%%)\n",
+			name, old.ns, row.ns, 100*dns, old.allocs, row.allocs, 100*dallocs)
+		check := func(metric string, d float64) {
+			if d > maxRegress {
+				fmt.Fprintf(w, "  %-16s REGRESSION: %s +%.1f%% exceeds the %.0f%% threshold\n",
+					name, metric, 100*d, 100*maxRegress)
+				regressed = true
+			}
+		}
+		if gate == "ns" || gate == "both" {
+			check("ns/unit", dns)
+		}
+		if gate == "allocs" || gate == "both" {
+			check("allocs/unit", dallocs)
+		}
+	}
+	for name := range baseRows {
+		fmt.Fprintf(w, "  %-16s dropped from suite (baseline only)\n", name)
+	}
+	return regressed, nil
+}
+
+type benchRow struct {
+	name       string
+	ns, allocs float64
+}
+
+// benchRows indexes a result's "benchmarks" table by benchmark name.
+func benchRows(r *results.Result) map[string]benchRow {
+	rows := map[string]benchRow{}
+	for _, t := range r.Tables {
+		if t.Name != "benchmarks" {
+			continue
+		}
+		col := map[string]int{}
+		for i, c := range t.Columns {
+			col[c] = i
+		}
+		ni, ok1 := col["benchmark"]
+		nsi, ok2 := col["ns/unit"]
+		ai, ok3 := col["allocs/unit"]
+		if !ok1 || !ok2 || !ok3 {
+			continue
+		}
+		for _, row := range t.Rows {
+			ns, _ := row[nsi].Float64()
+			allocs, _ := row[ai].Float64()
+			rows[row[ni].Text()] = benchRow{name: row[ni].Text(), ns: ns, allocs: allocs}
+		}
+	}
+	return rows
+}
+
+// delta returns the relative change from old to cur (positive = worse for
+// cost metrics).
+func delta(old, cur float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (cur - old) / old
+}
+
+// gitRev resolves the producing revision: the working tree's HEAD when
+// run inside a checkout (the normal `go run ./cmd/benchreport` flow),
+// with a -dirty suffix for uncommitted changes, falling back to the VCS
+// stamp baked into the binary, else empty.
+func gitRev() string {
+	if out, err := exec.Command("git", "describe", "--always", "--dirty", "--abbrev=12").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return s.Value[:12]
+			}
+		}
+	}
+	return ""
 }

@@ -275,10 +275,17 @@ func (n *Network) choosePath(s *Switch, p *Packet) topology.Path {
 			best, bestCost = c, cost
 		}
 	}
+	fromArena := false
 	for _, c := range nonMin {
 		if cost := n.pathCost(c, bias*noise()); cost < bestCost {
-			best, bestCost = c, cost
+			best, bestCost, fromArena = c, cost, true
 		}
+	}
+	if fromArena {
+		// Non-minimal candidates live in the topology's reusable
+		// path-construction arena and are overwritten by the next routing
+		// decision; the packet keeps this path for its whole flight.
+		best = append(topology.Path(nil), best...)
 	}
 	return best
 }

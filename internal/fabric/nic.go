@@ -60,6 +60,95 @@ const (
 	rtsScanDepth = 4
 )
 
+// Event handlers (closure-free dispatch): each handler type is a pointer
+// alias of the NIC (or Message) that owns the event, so scheduling stores
+// just the object pointer in the event's handler word and allocates
+// nothing. Per-event context rides the event's Arg/Data words.
+
+// nicPump re-pumps the injection queues (pacing/host-gap wakeups).
+type nicPump NIC
+
+func (h *nicPump) OnEvent(_ *sim.Engine, _ *sim.Event) {
+	n := (*NIC)(h)
+	n.pumpEv = nil
+	n.pump()
+}
+
+// msgSelfDeliver completes a loopback self-send.
+type msgSelfDeliver Message
+
+func (h *msgSelfDeliver) OnEvent(e *sim.Engine, _ *sim.Event) {
+	m := (*Message)(h)
+	at := e.Now()
+	m.DeliveredAt = at
+	m.delivered = m.numPackets
+	m.acked = m.numPackets
+	if m.OnDelivered != nil {
+		m.OnDelivered(at)
+	}
+	if m.OnAcked != nil {
+		m.OnAcked(at)
+	}
+}
+
+// nicGrantCTS (receiver-side) completes the rendezvous handshake for the
+// message in Data: the receive buffer is ready, so the source may stream.
+type nicGrantCTS NIC
+
+func (h *nicGrantCTS) OnEvent(_ *sim.Engine, ev *sim.Event) {
+	n := (*NIC)(h)
+	m := ev.Data.(*Message)
+	m.dataReady = true
+	n.net.nics[m.Src].pump()
+}
+
+// nicAck (source-side) lands one end-to-end ack for the message in Data.
+// Arg packs the acked buffer bytes (<<1) with the ECN mark in bit 0.
+type nicAck NIC
+
+func (h *nicAck) OnEvent(e *sim.Engine, ev *sim.Event) {
+	src := (*NIC)(h)
+	m := ev.Data.(*Message)
+	now := e.Now()
+	src.cc.OnAck(m.Dst, ev.Arg>>1, ev.Arg&1 != 0, now)
+	m.acked++
+	if m.acked >= m.numPackets && m.OnAcked != nil {
+		m.OnAcked(now)
+	}
+	src.pump()
+}
+
+// nicRetransmit re-injects the lost packet in Data (end-to-end retry).
+type nicRetransmit NIC
+
+func (h *nicRetransmit) OnEvent(_ *sim.Engine, ev *sim.Event) {
+	(*NIC)(h).retransmit(ev.Data.(*Packet))
+}
+
+// nicDeliver terminates the arriving packet in Data at this NIC.
+type nicDeliver NIC
+
+func (h *nicDeliver) OnEvent(_ *sim.Engine, ev *sim.Event) {
+	(*NIC)(h).deliver(ev.Data.(*Packet))
+}
+
+// nicSignal lands a Slingshot endpoint-congestion notification at this
+// (source) NIC for the message in Data; Arg carries the egress-queue depth
+// observed at the edge port, from which severity is derived exactly as the
+// emitting switch would have.
+type nicSignal NIC
+
+func (h *nicSignal) OnEvent(e *sim.Engine, ev *sim.Event) {
+	n := (*NIC)(h)
+	m := ev.Data.(*Message)
+	sev := float64(ev.Arg) / float64(4*n.net.Prof.EndpointThreshold)
+	if sev > 1 {
+		sev = 1
+	}
+	n.cc.OnSignal(m.Dst, sev, e.Now())
+	n.pump()
+}
+
 // submit queues a message for transmission. Called via Network.Send.
 func (n *NIC) submit(m *Message) {
 	now := n.net.Eng.Now()
@@ -67,18 +156,7 @@ func (n *NIC) submit(m *Message) {
 
 	if m.Dst == n.ID {
 		// Self-send: loopback, no fabric involvement.
-		n.net.Eng.After(n.net.Prof.HostGap+selfLoopback, func() {
-			at := n.net.Eng.Now()
-			m.DeliveredAt = at
-			m.delivered = m.numPackets
-			m.acked = m.numPackets
-			if m.OnDelivered != nil {
-				m.OnDelivered(at)
-			}
-			if m.OnAcked != nil {
-				m.OnAcked(at)
-			}
-		})
+		n.net.Eng.After(n.net.Prof.HostGap+selfLoopback, (*msgSelfDeliver)(m), 0, nil)
 		return
 	}
 
@@ -151,10 +229,7 @@ func (n *NIC) schedulePump(at sim.Time) {
 		}
 		n.net.Eng.Cancel(n.pumpEv)
 	}
-	n.pumpEv = n.net.Eng.Schedule(at, func() {
-		n.pumpEv = nil
-		n.pump()
-	})
+	n.pumpEv = n.net.Eng.Schedule(at, (*nicPump)(n), 0, nil)
 }
 
 // nextPacket selects the next injectable packet, round-robin over active
@@ -274,11 +349,7 @@ func (n *NIC) deliver(p *Packet) {
 	if p.ctrl {
 		// RTS arrived: set up the receive buffer (rendezvousSetup), then
 		// grant the transfer. The CTS rides the ack path.
-		src := n.net.nics[m.Src]
-		n.net.Eng.After(rendezvousSetup+n.net.revLatency(p.Path), func() {
-			m.dataReady = true
-			src.pump()
-		})
+		n.net.Eng.After(rendezvousSetup+n.net.revLatency(p.Path), (*nicGrantCTS)(n), 0, m)
 		n.net.freePacket(p)
 		return
 	}
@@ -305,17 +376,13 @@ func (n *NIC) deliver(p *Packet) {
 	}
 	// End-to-end acknowledgement back to the source (§II-A: End-to-End
 	// Acks crossbar; they track outstanding packets between every pair of
-	// endpoints).
+	// endpoints). The ack's size and ECN mark pack into the event's Arg
+	// word because the packet struct is recycled right below.
 	src := n.net.nics[m.Src]
-	size := bufBytes(p)
-	marked := p.ecnMarked
-	n.net.Eng.After(n.net.revLatency(p.Path), func() {
-		src.cc.OnAck(m.Dst, size, marked, n.net.Eng.Now())
-		m.acked++
-		if m.acked >= m.numPackets && m.OnAcked != nil {
-			m.OnAcked(n.net.Eng.Now())
-		}
-		src.pump()
-	})
+	arg := bufBytes(p) << 1
+	if p.ecnMarked {
+		arg |= 1
+	}
+	n.net.Eng.After(n.net.revLatency(p.Path), (*nicAck)(src), arg, m)
 	n.net.freePacket(p)
 }

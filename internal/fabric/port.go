@@ -63,6 +63,58 @@ const creditUnlimited = int64(1) << 42
 // pathological saturation.
 const watchdogDelay = 500 * sim.Microsecond
 
+// Event handlers (closure-free dispatch): pointer aliases of outPort.
+
+// portRetryPump re-pumps the port at a QoS cap-retry deadline.
+type portRetryPump outPort
+
+func (h *portRetryPump) OnEvent(_ *sim.Engine, _ *sim.Event) {
+	o := (*outPort)(h)
+	o.retryEv = nil
+	o.pump()
+}
+
+// portCreditReturn returns Arg bytes of input-buffer credit to this port
+// (a packet departed the downstream element) and re-pumps it.
+type portCreditReturn outPort
+
+func (h *portCreditReturn) OnEvent(_ *sim.Engine, ev *sim.Event) {
+	o := (*outPort)(h)
+	o.credits += ev.Arg
+	o.pump()
+}
+
+// portTxDone ends a transmission: the wire is free for the next packet.
+type portTxDone outPort
+
+func (h *portTxDone) OnEvent(_ *sim.Engine, _ *sim.Event) {
+	o := (*outPort)(h)
+	o.busy = false
+	o.pump()
+	if o.ownerNIC != nil {
+		o.ownerNIC.pump()
+	}
+}
+
+// portWatchdog fires the deadlock-escape overdraft after a starvation
+// interval.
+type portWatchdog outPort
+
+func (h *portWatchdog) OnEvent(_ *sim.Engine, _ *sim.Event) {
+	o := (*outPort)(h)
+	o.watchdogEv = nil
+	if o.busy || o.sched.Len() == 0 {
+		return
+	}
+	// Still starved: grant an overdraft credit for one packet so the
+	// fabric cannot wedge (virtual-channel escape equivalent).
+	if o.peerSw != nil && o.credits < int64(ethernet.MaxPayload+ethernet.RoCEHeaders) {
+		o.net.Overdrafts++
+		o.credits += int64(ethernet.MaxPayload + ethernet.RoCEHeaders)
+	}
+	o.pump()
+}
+
 // pump advances the port: if idle, pick the next packet the scheduler and
 // credits allow and start transmitting it.
 func (o *outPort) pump() {
@@ -77,10 +129,7 @@ func (o *outPort) pump() {
 	v, _, _, ok, retry := o.sched.Dequeue(now, clampInt(max))
 	if !ok {
 		if retry > 0 && o.retryEv == nil {
-			o.retryEv = o.net.Eng.Schedule(retry, func() {
-				o.retryEv = nil
-				o.pump()
-			})
+			o.retryEv = o.net.Eng.Schedule(retry, (*portRetryPump)(o), 0, nil)
 		}
 		if retry == 0 && o.peerSw != nil && o.credits < o.sched.TotalQueuedBytes() {
 			o.armWatchdog(now)
@@ -127,10 +176,7 @@ func (o *outPort) transmit(p *Packet, now sim.Time) {
 	// Departing the current element frees the upstream input-buffer space
 	// this packet was holding; the credit travels one reverse hop.
 	if ip := p.inPort; ip != nil {
-		o.net.Eng.After(ip.prop, func() {
-			ip.credits += size
-			ip.pump()
-		})
+		o.net.Eng.After(ip.prop, (*portCreditReturn)(ip), size, nil)
 	}
 	p.inPort = o
 
@@ -154,13 +200,7 @@ func (o *outPort) transmit(p *Packet, now sim.Time) {
 		}
 	}
 
-	o.net.Eng.After(occupancy, func() {
-		o.busy = false
-		o.pump()
-		if o.ownerNIC != nil {
-			o.ownerNIC.pump()
-		}
-	})
+	o.net.Eng.After(occupancy, (*portTxDone)(o), 0, nil)
 	if lost {
 		o.loseFrame(p, size, occupancy)
 		return
@@ -168,11 +208,9 @@ func (o *outPort) transmit(p *Packet, now sim.Time) {
 	arrival := occupancy + o.prop + phy.FECLatency
 	switch {
 	case o.peerSw != nil:
-		sw := o.peerSw
-		o.net.Eng.After(arrival, func() { sw.arrive(p) })
+		o.net.Eng.After(arrival, (*switchArrive)(o.peerSw), 0, p)
 	default:
-		nic := o.peerNIC
-		o.net.Eng.After(arrival+o.net.Prof.NICLatency, func() { nic.deliver(p) })
+		o.net.Eng.After(arrival+o.net.Prof.NICLatency, (*nicDeliver)(o.peerNIC), 0, p)
 	}
 }
 
@@ -182,10 +220,7 @@ func (o *outPort) transmit(p *Packet, now sim.Time) {
 // end-to-end retry to protect against packet loss").
 func (o *outPort) loseFrame(p *Packet, size int64, after sim.Time) {
 	if o.peerSw != nil {
-		o.net.Eng.After(after+o.prop, func() {
-			o.credits += size
-			o.pump()
-		})
+		o.net.Eng.After(after+o.prop, (*portCreditReturn)(o), size, nil)
 	}
 	src := o.net.nics[p.Msg.Src]
 	timeout := o.net.Prof.RetryTimeout
@@ -193,7 +228,7 @@ func (o *outPort) loseFrame(p *Packet, size int64, after sim.Time) {
 		timeout = 50 * sim.Microsecond
 	}
 	o.net.E2ERetries++
-	o.net.Eng.After(after+timeout, func() { src.retransmit(p) })
+	o.net.Eng.After(after+timeout, (*nicRetransmit)(src), 0, p)
 }
 
 // armWatchdog schedules the deadlock-escape overdraft.
@@ -202,19 +237,7 @@ func (o *outPort) armWatchdog(now sim.Time) {
 		return
 	}
 	o.blockedSince = now
-	o.watchdogEv = o.net.Eng.Schedule(now+watchdogDelay, func() {
-		o.watchdogEv = nil
-		if o.busy || o.sched.Len() == 0 {
-			return
-		}
-		// Still starved: grant an overdraft credit for one packet so the
-		// fabric cannot wedge (virtual-channel escape equivalent).
-		if o.peerSw != nil && o.credits < int64(ethernet.MaxPayload+ethernet.RoCEHeaders) {
-			o.net.Overdrafts++
-			o.credits += int64(ethernet.MaxPayload + ethernet.RoCEHeaders)
-		}
-		o.pump()
-	})
+	o.watchdogEv = o.net.Eng.Schedule(now+watchdogDelay, (*portWatchdog)(o), 0, nil)
 }
 
 func (o *outPort) disarmWatchdog() {

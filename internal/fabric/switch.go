@@ -45,6 +45,23 @@ func (s *Switch) edgePort(n topology.NodeID) *outPort {
 	return s.edge[int(n)-s.firstNode]
 }
 
+// Event handlers (closure-free dispatch): pointer aliases of Switch, with
+// the packet in the event's Data word.
+
+// switchArrive receives the packet in Data from an upstream link.
+type switchArrive Switch
+
+func (h *switchArrive) OnEvent(_ *sim.Engine, ev *sim.Event) {
+	(*Switch)(h).arrive(ev.Data.(*Packet))
+}
+
+// switchForward routes the packet in Data after the traversal latency.
+type switchForward Switch
+
+func (h *switchForward) OnEvent(_ *sim.Engine, ev *sim.Event) {
+	(*Switch)(h).forward(ev.Data.(*Packet))
+}
+
 // arrive receives a packet from an upstream link. The input-buffer space
 // was reserved by the upstream credit before transmission; processing
 // (route lookup, VOQ request/grant, crossbar) takes one traversal latency.
@@ -55,7 +72,7 @@ func (s *Switch) arrive(p *Packet) {
 	} else {
 		lat = rosetta.MeanTraversal(0, 2) // deterministic mean (~350 ns)
 	}
-	s.net.Eng.After(lat, func() { s.forward(p) })
+	s.net.Eng.After(lat, (*switchForward)(s), 0, p)
 }
 
 // forward routes the packet to its egress queue.
@@ -117,18 +134,12 @@ func (s *Switch) enqueue(o *outPort, p *Packet) {
 // signalSource sends the per-pair back-pressure notification to the source
 // of a packet contributing to endpoint congestion (§II-D). The notification
 // rides the ack crossbars back to the source NIC; we model its latency as
-// the reverse-path delay of the packet.
+// the reverse-path delay of the packet. The observed queue depth rides the
+// event's Arg word; nicSignal derives the severity from it at delivery
+// with exactly the arithmetic used here before the refactor.
 func (s *Switch) signalSource(p *Packet, queued int64) {
-	sev := float64(queued) / float64(4*s.net.Prof.EndpointThreshold)
-	if sev > 1 {
-		sev = 1
-	}
-	src, dst := p.Msg.Src, p.Msg.Dst
 	delay := s.net.revLatency(p.Path)
-	nic := s.net.nics[src]
+	nic := s.net.nics[p.Msg.Src]
 	s.net.Signals++
-	s.net.Eng.After(delay, func() {
-		nic.cc.OnSignal(dst, sev, s.net.Eng.Now())
-		nic.pump()
-	})
+	s.net.Eng.After(delay, (*nicSignal)(nic), queued, p.Msg)
 }

@@ -108,10 +108,8 @@ func fig13Run(opt Options, separate bool) ([]Fig13Point, float64) {
 
 	// The alltoall job starts ~0.4 ms into the test (as in the paper).
 	const aggrStart = 400 * sim.Microsecond
-	var agg *workloads.Aggressor
-	net.Eng.Schedule(aggrStart, func() {
-		agg = workloads.StartAlltoall(ajob, 256*1024)
-	})
+	start := &startAlltoall{job: ajob, bytes: 256 * 1024}
+	net.Eng.Schedule(aggrStart, start, 0, nil)
 
 	// Run the allreduce continuously, recording iteration durations.
 	const horizon = 3 * sim.Millisecond
@@ -141,14 +139,26 @@ func fig13Run(opt Options, separate bool) ([]Fig13Point, float64) {
 			after.Add(d.Microseconds())
 		}
 	}
-	if agg != nil {
-		agg.Stop()
+	if start.agg != nil {
+		start.agg.Stop()
 	}
 	base := baseline.Mean()
 	for _, d := range durs {
 		pts = append(pts, Fig13Point{At: d.at, Impact: d.dur.Microseconds() / base})
 	}
 	return pts, after.Mean() / base
+}
+
+// startAlltoall is the delayed-aggressor-start event handler of fig13Run;
+// it keeps the handle of the aggressor it launched for the wind-down.
+type startAlltoall struct {
+	job   *mpi.Job
+	bytes int64
+	agg   *workloads.Aggressor
+}
+
+func (s *startAlltoall) OnEvent(*sim.Engine, *sim.Event) {
+	s.agg = workloads.StartAlltoall(s.job, s.bytes)
 }
 
 // Result converts the measurement to the uniform structured form: the
@@ -239,23 +249,9 @@ func fig14Run(opt Options, separate bool) []Fig14Series {
 	// outstanding per direction, until the job's end time.
 	startJob := func(nodes []topology.NodeID, class int, tag int64, from, until sim.Time) {
 		j := mpi.NewJob(net, nodes, mpi.JobOpts{Stack: mpi.MPI, Class: class, Tag: tag})
-		n := j.Size()
-		net.Eng.Schedule(from, func() {
-			for r := 0; r < n; r++ {
-				partner := (r + n/2) % n
-				var post func()
-				r := r
-				post = func() {
-					if net.Now() >= until {
-						return
-					}
-					j.Put(r, partner, msgBytes, func(sim.Time) { post() })
-				}
-				for w := 0; w < window; w++ {
-					post()
-				}
-			}
-		})
+		net.Eng.Schedule(from, &startBisection{
+			j: j, until: until, msgBytes: msgBytes, window: window,
+		}, 0, nil)
 	}
 	startJob(j1Nodes, 0, 1, 0, j1End)
 	startJob(j2Nodes, class2, 2, j2Start, sim.Time(buckets)*bucket)
@@ -274,6 +270,41 @@ func fig14Run(opt Options, separate bool) []Fig14Series {
 		mk(0, "job1", len(j1Nodes)),
 		mk(1, "job2", len(j2Nodes)),
 	}
+}
+
+// startBisection launches one fig14 bisection-bandwidth job at its start
+// time: every rank streams to its partner in the other half, keeping
+// `window` puts outstanding until the job's end time.
+type startBisection struct {
+	j        *mpi.Job
+	until    sim.Time
+	msgBytes int64
+	window   int
+}
+
+func (s *startBisection) OnEvent(*sim.Engine, *sim.Event) {
+	n := s.j.Size()
+	for r := 0; r < n; r++ {
+		p := &bisectionRank{op: s, r: r, partner: (r + n/2) % n}
+		p.onPut = func(sim.Time) { p.post() }
+		for w := 0; w < s.window; w++ {
+			p.post()
+		}
+	}
+}
+
+// bisectionRank is one streaming rank of a fig14 job.
+type bisectionRank struct {
+	op         *startBisection
+	r, partner int
+	onPut      func(sim.Time)
+}
+
+func (p *bisectionRank) post() {
+	if p.op.j.Net.Now() >= p.op.until {
+		return
+	}
+	p.op.j.Put(p.r, p.partner, p.op.msgBytes, p.onPut)
 }
 
 // shareDuringOverlap returns each job's mean bandwidth share while both

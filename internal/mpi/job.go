@@ -87,26 +87,60 @@ func (j *Job) Put(from, to int, bytes int64, cb func(at sim.Time)) {
 	j.send(from, to, bytes, true, cb)
 }
 
-func (j *Job) send(from, to int, bytes int64, oneSided bool, cb func(at sim.Time)) {
-	src, dst := j.Node(from), j.Node(to)
-	eng := j.Net.Eng
-	sendOH := j.Stack.SendOverhead(bytes)
-	recvOH := j.Stack.RecvOverhead(bytes)
-	class := j.Class
-	if j.LatencyClass >= 0 && bytes <= LatencyClassBytes {
-		class = j.LatencyClass
-	}
+// sendOp is the pending state of one rank-to-rank transfer between the
+// sender-overhead event firing and the fabric submit; it is also the
+// event handler for that firing, so the send path allocates one small
+// struct instead of a nest of closures.
+type sendOp struct {
+	j        *Job
+	src, dst topology.NodeID
+	bytes    int64
+	class    int
+	noRendez bool
+	recvOH   sim.Time
+	cb       func(at sim.Time)
+}
+
+func (s *sendOp) OnEvent(_ *sim.Engine, _ *sim.Event) {
 	opts := fabric.SendOpts{
-		Class:        class,
-		Tag:          j.Tag,
-		NoRendezvous: j.Stack.Sockets() || oneSided,
-		OnDelivered: func(at sim.Time) {
-			if cb != nil {
-				eng.After(recvOH, func() { cb(eng.Now()) })
-			}
-		},
+		Class:        s.class,
+		Tag:          s.j.Tag,
+		NoRendezvous: s.noRendez,
 	}
-	eng.After(sendOH, func() { j.Net.Send(src, dst, bytes, opts) })
+	if s.cb != nil {
+		opts.OnDelivered = s.delivered
+	}
+	s.j.Net.Send(s.src, s.dst, s.bytes, opts)
+}
+
+// delivered defers the caller's completion callback by the receiver-side
+// software overhead.
+func (s *sendOp) delivered(sim.Time) {
+	s.j.Net.Eng.After(s.recvOH, timeCB{}, 0, s.cb)
+}
+
+// timeCB invokes the func(sim.Time) in Data with the fire time.
+type timeCB struct{}
+
+func (timeCB) OnEvent(e *sim.Engine, ev *sim.Event) {
+	ev.Data.(func(sim.Time))(e.Now())
+}
+
+func (j *Job) send(from, to int, bytes int64, oneSided bool, cb func(at sim.Time)) {
+	op := &sendOp{
+		j:        j,
+		src:      j.Node(from),
+		dst:      j.Node(to),
+		bytes:    bytes,
+		class:    j.Class,
+		noRendez: j.Stack.Sockets() || oneSided,
+		recvOH:   j.Stack.RecvOverhead(bytes),
+		cb:       cb,
+	}
+	if j.LatencyClass >= 0 && bytes <= LatencyClassBytes {
+		op.class = j.LatencyClass
+	}
+	j.Net.Eng.After(j.Stack.SendOverhead(bytes), op, 0, nil)
 }
 
 // PingPong measures iters half-round-trips between two ranks and returns

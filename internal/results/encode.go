@@ -60,6 +60,20 @@ func EncodeAll(w io.Writer, format string, rs []*Result) error {
 	return nil
 }
 
+// DecodeJSON reads back a single JSON-encoded Result (the format the
+// json encoder writes for one result — e.g. the tracked bench baseline).
+func DecodeJSON(r io.Reader) (*Result, error) {
+	dec := json.NewDecoder(r)
+	res := &Result{}
+	if err := dec.Decode(res); err != nil {
+		return nil, fmt.Errorf("results: decode: %w", err)
+	}
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // TextString renders a result with the fixed-width text encoder.
 func TextString(r *Result) string {
 	var b strings.Builder

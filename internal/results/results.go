@@ -31,6 +31,12 @@ type Meta struct {
 	PPN int `json:"ppn,omitempty"`
 	// Wall is the host wall-clock time the run took.
 	Wall time.Duration `json:"wall_ns"`
+	// Rev identifies the code revision that produced the result (git
+	// SHA), so archived results — the tracked perf baseline above all —
+	// are attributable to a commit.
+	Rev string `json:"rev,omitempty"`
+	// GoVersion is the toolchain the producing binary was built with.
+	GoVersion string `json:"go_version,omitempty"`
 }
 
 // Kind discriminates the Value variants.
@@ -120,6 +126,49 @@ func (v Value) MarshalJSON() ([]byte, error) {
 	default:
 		return strconv.AppendFloat(nil, v.Num, 'g', -1, 64), nil
 	}
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON, so archived results (e.g.
+// a committed bench baseline) round-trip: null → N.A., quoted → string,
+// integral number without exponent/fraction → int, otherwise float.
+func (v *Value) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	switch {
+	case s == "null":
+		*v = NA()
+		return nil
+	case len(b) > 0 && b[0] == '"':
+		str, err := strconv.Unquote(s)
+		if err != nil {
+			return fmt.Errorf("results: bad string cell %s: %w", s, err)
+		}
+		*v = String(str)
+		return nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		*v = Int(i)
+		return nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("results: bad cell %s: %w", s, err)
+	}
+	*v = Float(f, -1)
+	return nil
+}
+
+// Float64 returns the cell's numeric value (int or float kinds) and
+// whether it has one.
+func (v Value) Float64() (float64, bool) {
+	switch {
+	case v.IsNA():
+		return 0, false
+	case v.Kind == KindInt:
+		return float64(v.Int), true
+	case v.Kind == KindFloat:
+		return v.Num, true
+	}
+	return 0, false
 }
 
 // Table is a named grid of typed cells under named columns.

@@ -149,3 +149,65 @@ func TestUnknownFormat(t *testing.T) {
 		t.Error("unknown format should error")
 	}
 }
+
+func TestJSONRoundTrip(t *testing.T) {
+	// The tracked bench baseline is decoded back for regression
+	// comparison, so a result must survive encode → decode with every
+	// cell's numeric payload (and N.A.-ness) intact.
+	r := goldenResult()
+	r.Meta.Rev = "abc123def456"
+	r.Meta.GoVersion = "go1.24.0"
+	var buf bytes.Buffer
+	enc, _ := NewEncoder("json")
+	if err := enc.Encode(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != r.Meta {
+		t.Errorf("meta round trip: got %+v, want %+v", got.Meta, r.Meta)
+	}
+	if len(got.Tables) != len(r.Tables) {
+		t.Fatalf("tables: got %d, want %d", len(got.Tables), len(r.Tables))
+	}
+	for ti, tb := range r.Tables {
+		gt := got.Tables[ti]
+		for ri, row := range tb.Rows {
+			for ci, want := range row {
+				cell := gt.Rows[ri][ci]
+				if want.IsNA() != cell.IsNA() {
+					t.Errorf("table %d cell (%d,%d): NA mismatch", ti, ri, ci)
+					continue
+				}
+				if want.Kind == KindString && cell.Str != want.Str {
+					t.Errorf("cell (%d,%d) = %q, want %q", ri, ci, cell.Str, want.Str)
+				}
+				wv, wok := want.Float64()
+				gv, gok := cell.Float64()
+				if wok != gok || wv != gv {
+					t.Errorf("cell (%d,%d) value = %v,%v want %v,%v", ri, ci, gv, gok, wv, wok)
+				}
+			}
+		}
+	}
+}
+
+func TestValueFloat64(t *testing.T) {
+	if v, ok := Int(7).Float64(); !ok || v != 7 {
+		t.Errorf("Int.Float64 = %v,%v", v, ok)
+	}
+	if v, ok := Float(2.5, 1).Float64(); !ok || v != 2.5 {
+		t.Errorf("Float.Float64 = %v,%v", v, ok)
+	}
+	if _, ok := NA().Float64(); ok {
+		t.Error("NA has a Float64")
+	}
+	if _, ok := String("x").Float64(); ok {
+		t.Error("String has a Float64")
+	}
+	if _, ok := Float(math.NaN(), 1).Float64(); ok {
+		t.Error("NaN float has a Float64")
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -79,9 +80,9 @@ func TestSerializationTimeMonotone(t *testing.T) {
 func TestEngineOrdering(t *testing.T) {
 	e := NewEngine()
 	var order []int
-	e.Schedule(30*Nanosecond, func() { order = append(order, 3) })
-	e.Schedule(10*Nanosecond, func() { order = append(order, 1) })
-	e.Schedule(20*Nanosecond, func() { order = append(order, 2) })
+	e.ScheduleFunc(30*Nanosecond, func() { order = append(order, 3) })
+	e.ScheduleFunc(10*Nanosecond, func() { order = append(order, 1) })
+	e.ScheduleFunc(20*Nanosecond, func() { order = append(order, 2) })
 	e.Run()
 	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
 		t.Fatalf("order = %v", order)
@@ -96,7 +97,7 @@ func TestEngineTieBreakFIFO(t *testing.T) {
 	var order []int
 	for i := 0; i < 10; i++ {
 		i := i
-		e.Schedule(5*Nanosecond, func() { order = append(order, i) })
+		e.ScheduleFunc(5*Nanosecond, func() { order = append(order, i) })
 	}
 	e.Run()
 	for i, v := range order {
@@ -109,7 +110,7 @@ func TestEngineTieBreakFIFO(t *testing.T) {
 func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	ran := false
-	ev := e.Schedule(10*Nanosecond, func() { ran = true })
+	ev := e.ScheduleFunc(10*Nanosecond, func() { ran = true })
 	e.Cancel(ev)
 	e.Run()
 	if ran {
@@ -128,7 +129,7 @@ func TestEngineCancelMiddle(t *testing.T) {
 	evs := make([]*Event, 20)
 	for i := range evs {
 		i := i
-		evs[i] = e.Schedule(Time(i)*Nanosecond, func() { got = append(got, i) })
+		evs[i] = e.ScheduleFunc(Time(i)*Nanosecond, func() { got = append(got, i) })
 	}
 	e.Cancel(evs[7])
 	e.Cancel(evs[13])
@@ -150,10 +151,10 @@ func TestEngineReentrantScheduling(t *testing.T) {
 	tick = func() {
 		count++
 		if count < 100 {
-			e.After(1*Nanosecond, tick)
+			e.AfterFunc(1*Nanosecond, tick)
 		}
 	}
-	e.After(0, tick)
+	e.AfterFunc(0, tick)
 	e.Run()
 	if count != 100 {
 		t.Errorf("count = %d", count)
@@ -166,8 +167,8 @@ func TestEngineReentrantScheduling(t *testing.T) {
 func TestEngineSchedulePastClamps(t *testing.T) {
 	e := NewEngine()
 	var at Time = -1
-	e.Schedule(10*Nanosecond, func() {
-		e.Schedule(5*Nanosecond, func() { at = e.Now() })
+	e.ScheduleFunc(10*Nanosecond, func() {
+		e.ScheduleFunc(5*Nanosecond, func() { at = e.Now() })
 	})
 	e.Run()
 	if at != 10*Nanosecond {
@@ -180,7 +181,7 @@ func TestEngineRunUntil(t *testing.T) {
 	var ran []Time
 	for _, at := range []Time{1, 2, 3, 4, 5} {
 		at := at * Microsecond
-		e.Schedule(at, func() { ran = append(ran, at) })
+		e.ScheduleFunc(at, func() { ran = append(ran, at) })
 	}
 	e.RunUntil(3 * Microsecond)
 	if len(ran) != 3 {
@@ -203,7 +204,7 @@ func TestEngineRunWhile(t *testing.T) {
 	e := NewEngine()
 	n := 0
 	for i := 0; i < 50; i++ {
-		e.Schedule(Time(i)*Nanosecond, func() { n++ })
+		e.ScheduleFunc(Time(i)*Nanosecond, func() { n++ })
 	}
 	e.RunWhile(func() bool { return n < 10 })
 	if n != 10 {
@@ -214,7 +215,7 @@ func TestEngineRunWhile(t *testing.T) {
 func TestEngineStepsCounter(t *testing.T) {
 	e := NewEngine()
 	for i := 0; i < 7; i++ {
-		e.Schedule(Time(i), func() {})
+		e.ScheduleFunc(Time(i), func() {})
 	}
 	e.Run()
 	if e.Steps() != 7 {
@@ -230,7 +231,7 @@ func TestEngineHeapProperty(t *testing.T) {
 		var times []Time
 		for _, d := range delays {
 			at := Time(d % 1e6)
-			e.Schedule(at, func() { times = append(times, e.Now()) })
+			e.ScheduleFunc(at, func() { times = append(times, e.Now()) })
 		}
 		e.Run()
 		for i := 1; i < len(times); i++ {
@@ -373,15 +374,254 @@ func TestRNGSplitIndependence(t *testing.T) {
 	}
 }
 
+// recorder is a static test handler: it appends each fired event's Arg.
+type recorder struct{ got []int64 }
+
+func (r *recorder) OnEvent(_ *Engine, ev *Event) { r.got = append(r.got, ev.Arg) }
+
+func TestEngineHandlerDispatch(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	e.Schedule(20*Nanosecond, r, 2, nil)
+	e.Schedule(10*Nanosecond, r, 1, nil)
+	e.After(30*Nanosecond, r, 3, nil)
+	e.Run()
+	if len(r.got) != 3 || r.got[0] != 1 || r.got[1] != 2 || r.got[2] != 3 {
+		t.Fatalf("dispatch order = %v", r.got)
+	}
+}
+
+func TestEngineEventDataWord(t *testing.T) {
+	// Pointer payloads ride the Data word without the handler capturing
+	// anything.
+	e := NewEngine()
+	type payload struct{ n int }
+	p := &payload{}
+	got := 0
+	e.Schedule(Nanosecond, handlerFunc(func(_ *Engine, ev *Event) {
+		got = ev.Data.(*payload).n
+	}), 0, p)
+	p.n = 42
+	e.Run()
+	if got != 42 {
+		t.Fatalf("Data payload = %d, want 42", got)
+	}
+}
+
+// handlerFunc adapts a func to Handler for tests.
+type handlerFunc func(e *Engine, ev *Event)
+
+func (f handlerFunc) OnEvent(e *Engine, ev *Event) { f(e, ev) }
+
+// RunUntil boundary semantics: events at exactly At == deadline that are
+// scheduled *by* a handler running at deadline time must still run before
+// the clock settles at the deadline — the drain loop re-peeks after every
+// step instead of snapshotting the queue once.
+func TestEngineRunUntilDeadlineChain(t *testing.T) {
+	e := NewEngine()
+	const deadline = 10 * Microsecond
+	var ran []int
+	e.ScheduleFunc(deadline, func() {
+		ran = append(ran, 1)
+		e.ScheduleFunc(deadline, func() { // same-instant follow-on
+			ran = append(ran, 2)
+			e.AfterFunc(0, func() { ran = append(ran, 3) }) // zero-delay at deadline
+			e.AfterFunc(Picosecond, func() { t.Error("past-deadline event ran") })
+		})
+	})
+	e.RunUntil(deadline)
+	if len(ran) != 3 || ran[0] != 1 || ran[1] != 2 || ran[2] != 3 {
+		t.Fatalf("deadline-time chain ran = %v, want [1 2 3]", ran)
+	}
+	if e.Now() != deadline {
+		t.Errorf("Now = %v, want %v", e.Now(), deadline)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want the past-deadline event", e.Pending())
+	}
+}
+
+// Cancelling an event that sits in a wheel bucket (not yet poured into
+// the operating heap) must unlink it and keep the occupancy bitmaps
+// exact, so the wheel neither fires it nor wedges advancing past its
+// emptied bucket.
+func TestWheelCancelInsideBucket(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	a := e.Schedule(10*Microsecond, r, 1, nil)       // level-1 bucket
+	e.Schedule(10*Microsecond+Nanosecond, r, 2, nil) // same bucket
+	e.Schedule(20*Millisecond, r, 3, nil)            // level-3 bucket
+	e.Cancel(a)
+	if !a.Cancelled() {
+		t.Fatal("bucket event not marked cancelled")
+	}
+	e.Run()
+	if len(r.got) != 2 || r.got[0] != 2 || r.got[1] != 3 {
+		t.Fatalf("ran = %v, want [2 3]", r.got)
+	}
+	if e.Now() != 20*Millisecond {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+// Cancelling the only event of a far bucket must clear its occupancy bit:
+// a later Run with other events must not hang or mis-order.
+func TestWheelCancelEmptiesBucket(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	a := e.Schedule(5*Microsecond, r, 1, nil)
+	b := e.Schedule(3*Second, r, 2, nil)
+	e.Schedule(7*Millisecond, r, 3, nil)
+	e.Cancel(a)
+	e.Cancel(b)
+	e.Run()
+	if len(r.got) != 1 || r.got[0] != 3 {
+		t.Fatalf("ran = %v, want [3]", r.got)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+}
+
+// Events beyond the wheels' ~18-minute horizon wait in the overflow list
+// and are promoted back through the wheel levels when everything nearer
+// has drained — in exact (At, seq) order.
+func TestWheelOverflowPromotion(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	far2 := 2000*Second + Nanosecond
+	far1 := 2000 * Second
+	e.Schedule(far2, r, 4, nil) // overflow, scheduled out of order
+	e.Schedule(far1, r, 3, nil)
+	e.Schedule(Microsecond, r, 1, nil)
+	e.Schedule(Millisecond, r, 2, nil)
+	e.Run()
+	want := []int64{1, 2, 3, 4}
+	if len(r.got) != len(want) {
+		t.Fatalf("ran %v, want %v", r.got, want)
+	}
+	for i, v := range want {
+		if r.got[i] != v {
+			t.Fatalf("ran %v, want %v", r.got, want)
+		}
+	}
+	if e.Now() != far2 {
+		t.Errorf("Now = %v, want %v", e.Now(), far2)
+	}
+}
+
+// Same-instant events scheduled before a full wheel rotation must still
+// fire in scheduling (seq) order once their bucket finally pours into the
+// operating heap.
+func TestWheelSameTickFIFOAfterRotation(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	const at = 5 * Millisecond // several level-0 rotations away
+	for i := 0; i < 50; i++ {
+		e.Schedule(at, r, int64(i), nil)
+	}
+	// Interleave nearer events so the wheel genuinely rotates first.
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i)*100*Microsecond, r, -1, nil)
+	}
+	e.Run()
+	fifo := r.got[10:]
+	for i, v := range fifo {
+		if v != int64(i) {
+			t.Fatalf("post-rotation FIFO order broken at %d: %v", i, fifo)
+		}
+	}
+}
+
+// Distinct timestamps inside one level-0 bucket (~16 ns wide) must fire in
+// At order even when scheduled in reverse.
+func TestWheelSubTickOrdering(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	base := 30 * Microsecond
+	e.Schedule(base+3*Picosecond, r, 3, nil)
+	e.Schedule(base+1*Picosecond, r, 1, nil)
+	e.Schedule(base+2*Picosecond, r, 2, nil)
+	e.Run()
+	if len(r.got) != 3 || r.got[0] != 1 || r.got[1] != 2 || r.got[2] != 3 {
+		t.Fatalf("sub-tick order = %v", r.got)
+	}
+}
+
+// After an idle clock jump (RunUntil past an empty queue), newly scheduled
+// near events are far from the wheel's last position; the cascade must
+// walk the levels down to them without losing precision.
+func TestEngineScheduleAfterIdleJump(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(Second)
+	var at Time = -1
+	e.AfterFunc(Nanosecond, func() { at = e.Now() })
+	e.Run()
+	if at != Second+Nanosecond {
+		t.Fatalf("post-jump event ran at %v, want %v", at, Second+Nanosecond)
+	}
+}
+
+// eventRef is the reference model's view of one scheduled event.
+type eventRef struct {
+	at Time
+	id int64
+}
+
+// sortRefs sorts stably by At: ids keep schedule order inside equal
+// timestamps, matching the engine's seq tie-break.
+func sortRefs(refs []eventRef) {
+	sort.SliceStable(refs, func(i, j int) bool { return refs[i].at < refs[j].at })
+}
+
+// Randomized cross-check against a reference model: any mix of delays
+// spanning every wheel level (and the overflow list), with a deterministic
+// subset cancelled while still in their buckets, must execute in exactly
+// sorted (At, seq) order.
+func TestWheelRandomizedOrdering(t *testing.T) {
+	rng := NewRNG(11)
+	e := NewEngine()
+	r := &recorder{}
+	var want []eventRef
+	cancelled := make(map[int64]bool)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		// Timestamps from sub-tick to beyond the wheel horizon.
+		exp := rng.Intn(51) // up to 2^51 ps, past the 2^50 ps wheel horizon
+		at := Time(rng.Intn(1 << uint(exp+1)))
+		ev := e.Schedule(at, r, int64(i), nil)
+		if i%7 == 3 {
+			e.Cancel(ev)
+			cancelled[int64(i)] = true
+			continue
+		}
+		want = append(want, eventRef{at: at, id: int64(i)})
+	}
+	e.Run()
+	sortRefs(want)
+	if len(r.got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(r.got), len(want))
+	}
+	for i, v := range r.got {
+		if cancelled[v] {
+			t.Fatalf("cancelled event %d ran", v)
+		}
+		if v != want[i].id {
+			t.Fatalf("order diverges from model at %d: got id %d (At %v), want %d (At %v)",
+				i, v, e.Now(), want[i].id, want[i].at)
+		}
+	}
+}
+
 func TestEventFreeListRecycles(t *testing.T) {
 	// The engine recycles Event structs through a deterministic free-list:
 	// a fired or cancelled event's struct backs a later Schedule. This
 	// pins the no-allocation steady state of the hot path.
 	e := NewEngine()
 	ran := 0
-	ev1 := e.Schedule(Nanosecond, func() { ran++ })
+	ev1 := e.ScheduleFunc(Nanosecond, func() { ran++ })
 	e.Run()
-	ev2 := e.Schedule(2*Nanosecond, func() { ran++ })
+	ev2 := e.ScheduleFunc(2*Nanosecond, func() { ran++ })
 	if ev2 != ev1 {
 		t.Error("fired event struct was not recycled")
 	}
@@ -389,9 +629,9 @@ func TestEventFreeListRecycles(t *testing.T) {
 	if ran != 2 {
 		t.Fatalf("ran = %d, want 2", ran)
 	}
-	ev3 := e.Schedule(3*Nanosecond, func() { t.Error("cancelled event ran") })
+	ev3 := e.ScheduleFunc(3*Nanosecond, func() { t.Error("cancelled event ran") })
 	e.Cancel(ev3)
-	ev4 := e.Schedule(4*Nanosecond, func() { ran++ })
+	ev4 := e.ScheduleFunc(4*Nanosecond, func() { ran++ })
 	if ev4 != ev3 {
 		t.Error("cancelled event struct was not recycled")
 	}
@@ -401,17 +641,48 @@ func TestEventFreeListRecycles(t *testing.T) {
 	}
 }
 
-func TestEventFreeListDropsClosure(t *testing.T) {
-	// Released events must not pin their callback closures.
+// Free-list recycling must hold under static-handler dispatch too: a
+// fired or cancelled handler event's struct backs a later Schedule, and
+// the recycled struct carries the new Arg/Data, not stale ones.
+func TestEventFreeListRecyclesHandlerDispatch(t *testing.T) {
 	e := NewEngine()
-	ev := e.Schedule(Nanosecond, func() {})
+	r := &recorder{}
+	ev1 := e.Schedule(Nanosecond, r, 1, nil)
 	e.Run()
-	if ev.Fn != nil {
-		t.Error("fired event still references its closure")
+	ev2 := e.Schedule(2*Nanosecond, r, 2, "payload")
+	if ev2 != ev1 {
+		t.Error("fired handler event struct was not recycled")
 	}
-	ev2 := e.Schedule(Nanosecond, func() {})
+	if ev2.Arg != 2 || ev2.Data != "payload" {
+		t.Errorf("recycled event carries stale words: Arg=%d Data=%v", ev2.Arg, ev2.Data)
+	}
+	e.Run()
+	// Cancel inside a wheel bucket recycles immediately as well.
+	ev3 := e.Schedule(50*Microsecond, r, 3, nil)
+	e.Cancel(ev3)
+	ev4 := e.Schedule(3*Nanosecond, r, 4, nil)
+	if ev4 != ev3 {
+		t.Error("bucket-cancelled event struct was not recycled")
+	}
+	e.Run()
+	if len(r.got) != 3 || r.got[0] != 1 || r.got[1] != 2 || r.got[2] != 4 {
+		t.Fatalf("ran = %v, want [1 2 4]", r.got)
+	}
+}
+
+func TestEventFreeListDropsClosure(t *testing.T) {
+	// Released events must not pin their handler or payload: Data carries
+	// the closure for ScheduleFunc events, and the handler word would pin
+	// the owning object for static handlers.
+	e := NewEngine()
+	ev := e.ScheduleFunc(Nanosecond, func() {})
+	e.Run()
+	if ev.Data != nil || ev.h != nil {
+		t.Error("fired event still references its handler/closure")
+	}
+	ev2 := e.ScheduleFunc(Nanosecond, func() {})
 	e.Cancel(ev2)
-	if ev2.Fn != nil {
-		t.Error("cancelled event still references its closure")
+	if ev2.Data != nil || ev2.h != nil {
+		t.Error("cancelled event still references its handler/closure")
 	}
 }

@@ -122,10 +122,66 @@ func (d *Dragonfly) MinimalPaths(src, dst SwitchID, max int) []Path {
 	return out
 }
 
+// The arena variants below mirror intraPaths/compose but build their
+// paths in the Dragonfly's reusable pathNodes buffer. They back
+// NonMinimalPaths, which runs once per routed packet: the hot path must
+// construct and discard candidate paths without allocating.
+
+// arenaPath appends the given switches as one arena-backed path.
+func (d *Dragonfly) arenaPath(sw ...SwitchID) Path {
+	s := len(d.pathNodes)
+	d.pathNodes = append(d.pathNodes, sw...)
+	return d.pathNodes[s:len(d.pathNodes):len(d.pathNodes)]
+}
+
+// arenaIntraFirst is intraPaths(a, b)[0] — the first minimal intra-group
+// path — built in the arena.
+func (d *Dragonfly) arenaIntraFirst(a, b SwitchID) Path {
+	if a == b {
+		return d.arenaPath(a)
+	}
+	if d.localAdjacent(a, b) {
+		return d.arenaPath(a, b)
+	}
+	// Grid2D, different row and column: along a's row to b's column.
+	base := (int(a) / d.Cfg.SwitchesPerGroup) * d.Cfg.SwitchesPerGroup
+	ia, ib := int(a)-base, int(b)-base
+	m1 := SwitchID(base + (ia/d.cols)*d.cols + ib%d.cols)
+	return d.arenaPath(a, m1, b)
+}
+
+// arenaCompose is compose built in the arena. The segments may themselves
+// be arena-backed: they occupy earlier arena indices, so appending the
+// composition after them never aliases its inputs.
+func (d *Dragonfly) arenaCompose(segs ...Path) Path {
+	s := len(d.pathNodes)
+	for _, seg := range segs {
+		for i, sw := range seg {
+			out := d.pathNodes[s:]
+			if len(out) > 0 && i == 0 && out[len(out)-1] == sw {
+				continue // shared junction
+			}
+			for _, prev := range out {
+				if prev == sw {
+					d.pathNodes = d.pathNodes[:s] // revisit: discard
+					return nil
+				}
+			}
+			d.pathNodes = append(d.pathNodes, sw)
+		}
+	}
+	return d.pathNodes[s:len(d.pathNodes):len(d.pathNodes)]
+}
+
 // NonMinimalPaths enumerates up to max non-minimal (Valiant-style) paths.
 // Within a group the detour is via a random third switch of the group;
 // across groups it is via a random intermediate group. rng supplies the
 // randomization; a nil rng yields deterministic (first-choice) detours.
+//
+// The returned paths live in a per-topology arena that the next
+// NonMinimalPaths call on this Dragonfly reuses: callers must copy any
+// path they retain past their routing decision, and must not route on a
+// shared Dragonfly from multiple goroutines.
 func (d *Dragonfly) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []Path {
 	if max <= 0 {
 		max = 2
@@ -133,8 +189,10 @@ func (d *Dragonfly) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []
 	if src == dst {
 		return nil
 	}
+	d.pathNodes = d.pathNodes[:0]
+	out := d.outPaths[:0]
+	defer func() { d.outPaths = out[:0] }()
 	gs, gd := d.GroupOf(src), d.GroupOf(dst)
-	var out []Path
 	if gs == gd {
 		// Detour via another switch in the same group.
 		base := int(gs) * d.Cfg.SwitchesPerGroup
@@ -151,7 +209,7 @@ func (d *Dragonfly) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []
 			if mid == src || mid == dst {
 				continue
 			}
-			p := d.compose(d.intraPaths(src, mid)[0], d.intraPaths(mid, dst)[0])
+			p := d.arenaCompose(d.arenaIntraFirst(src, mid), d.arenaIntraFirst(mid, dst))
 			if p != nil {
 				out = append(out, p)
 			}
@@ -163,7 +221,8 @@ func (d *Dragonfly) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []
 	if ng <= 2 {
 		// No third group: detour within the source group to a different
 		// gateway, then minimal.
-		return d.detourViaAltGateway(src, dst, rng, max)
+		out = d.detourViaAltGateway(src, dst, rng, max, out)
+		return out
 	}
 	start := 0
 	if rng != nil {
@@ -209,28 +268,28 @@ func (d *Dragonfly) pathViaGroup(src, dst SwitchID, gi GroupID, rng *sim.RNG) Pa
 	if d.GroupOf(a2) != gi {
 		a2, b2 = b2, a2
 	}
-	return d.compose(
-		d.intraPaths(src, a1)[0],
-		Path{a1, b1},
-		d.intraPaths(b1, a2)[0],
-		Path{a2, b2},
-		d.intraPaths(b2, dst)[0],
+	return d.arenaCompose(
+		d.arenaIntraFirst(src, a1),
+		d.arenaPath(a1, b1),
+		d.arenaIntraFirst(b1, a2),
+		d.arenaPath(a2, b2),
+		d.arenaIntraFirst(b2, dst),
 	)
 }
 
 // detourViaAltGateway handles the two-group case: route via a gateway
-// switch other than the minimal one.
-func (d *Dragonfly) detourViaAltGateway(src, dst SwitchID, rng *sim.RNG, max int) []Path {
+// switch other than the minimal one. out is the caller's arena-backed
+// accumulator.
+func (d *Dragonfly) detourViaAltGateway(src, dst SwitchID, rng *sim.RNG, max int, out []Path) []Path {
 	gs, gd := d.GroupOf(src), d.GroupOf(dst)
 	links := d.globalOut[gs][gd]
 	if len(links) <= 1 {
-		return nil
+		return out
 	}
 	start := 0
 	if rng != nil {
 		start = rng.Intn(len(links))
 	}
-	var out []Path
 	for i := 0; i < len(links) && len(out) < max; i++ {
 		l := d.Links[links[(start+i)%len(links)]]
 		a, b := l.A, l.B
@@ -240,7 +299,7 @@ func (d *Dragonfly) detourViaAltGateway(src, dst SwitchID, rng *sim.RNG, max int
 		if a == src {
 			continue // that is a minimal path, not a detour
 		}
-		p := d.compose(d.intraPaths(src, a)[0], Path{a, b}, d.intraPaths(b, dst)[0])
+		p := d.arenaCompose(d.arenaIntraFirst(src, a), d.arenaPath(a, b), d.arenaIntraFirst(b, dst))
 		if p != nil {
 			out = append(out, p)
 		}

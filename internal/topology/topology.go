@@ -169,6 +169,15 @@ type Dragonfly struct {
 	globalOut [][][]int
 	// edge[n] is the link ID of node n's edge link.
 	edge []int
+	// Path-construction arena reused by NonMinimalPaths (one adaptive
+	// routing decision per packet on the hot path): candidate paths are
+	// built in pathNodes and collected in outPaths, so steady-state
+	// routing allocates nothing. Both are reset on every call, which is
+	// why NonMinimalPaths results must be copied if retained — and why a
+	// Dragonfly must not serve routing queries from multiple goroutines
+	// (each Network builds its own).
+	pathNodes []SwitchID
+	outPaths  []Path
 }
 
 // New builds a Dragonfly from the config. The global links between each

@@ -112,6 +112,36 @@ func StartAlltoall(j *mpi.Job, msgBytes int64) *Aggressor {
 	return a
 }
 
+// burstRank is one source rank of the bursty incast: its own burst
+// countdown plus the idle-gap event handler, allocated once per rank so
+// the steady state schedules gap wakeups without any per-burst closures.
+type burstRank struct {
+	a         *Aggressor
+	j         *mpi.Job
+	r, target int
+	msgBytes  int64
+	burstSize int
+	left      int
+	gap       sim.Time
+	onPut     func(sim.Time)
+}
+
+// OnEvent restarts the burst after the idle gap.
+func (b *burstRank) OnEvent(_ *sim.Engine, _ *sim.Event) { b.step(b.burstSize) }
+
+func (b *burstRank) step(left int) {
+	if b.a.stopped {
+		b.a.InFlight--
+		return
+	}
+	if left == 0 {
+		b.j.Net.Eng.After(b.gap, b, 0, nil)
+		return
+	}
+	b.left = left
+	b.j.Put(b.r, b.target, b.msgBytes, b.onPut)
+}
+
 // StartBurstyIncast is the Fig. 12 congestor: bursts of burstSize messages
 // per rank followed by an idle gap, repeated until stopped.
 func StartBurstyIncast(j *mpi.Job, msgBytes int64, burstSize int, gap sim.Time) *Aggressor {
@@ -119,28 +149,19 @@ func StartBurstyIncast(j *mpi.Job, msgBytes int64, burstSize int, gap sim.Time) 
 		burstSize = 1
 	}
 	a := &Aggressor{}
-	eng := j.Net.Eng
 	for _, set := range incastStride(j, incastGroupSize) {
 		if len(set) < 2 {
 			continue
 		}
 		target := set[0]
 		for _, r := range set[1:] {
-			r := r
-			var burst func(left int)
-			burst = func(left int) {
-				if a.stopped {
-					a.InFlight--
-					return
-				}
-				if left == 0 {
-					eng.After(gap, func() { burst(burstSize) })
-					return
-				}
-				j.Put(r, target, msgBytes, func(sim.Time) { burst(left - 1) })
+			b := &burstRank{
+				a: a, j: j, r: r, target: target,
+				msgBytes: msgBytes, burstSize: burstSize, gap: gap,
 			}
+			b.onPut = func(sim.Time) { b.step(b.left - 1) }
 			a.InFlight++
-			burst(burstSize)
+			b.step(burstSize)
 		}
 	}
 	return a

@@ -23,10 +23,12 @@ type App struct {
 }
 
 // compute schedules a computation phase of roughly d with a little
-// imbalance, then calls next.
+// imbalance, then calls next. The continuation is an arbitrary app-level
+// closure, so this rides the AfterFunc shim: one compute phase per
+// iteration is nowhere near the packet hot path.
 func compute(j *mpi.Job, rng *sim.RNG, d sim.Time, next func()) {
 	jit := 1 + 0.05*(rng.Float64()-0.5)
-	j.Net.Eng.After(sim.Time(float64(d)*jit), next)
+	j.Net.Eng.AfterFunc(sim.Time(float64(d)*jit), next)
 }
 
 // MILC: su3_rmd QCD kernel — 4D grid decomposition, point-to-point
@@ -133,7 +135,7 @@ func tailbenchApp(name string, service sim.Time, sigma float64, reqBytes, respBy
 		Iterate: func(j *mpi.Job, rng *sim.RNG, done func()) {
 			client, server := 0, j.Size()-1
 			j.Send(client, server, reqBytes, func(sim.Time) {
-				j.Net.Eng.After(rng.LogNormal(service, sigma), func() {
+				j.Net.Eng.AfterFunc(rng.LogNormal(service, sigma), func() {
 					j.Send(server, client, respBytes, func(sim.Time) { done() })
 				})
 			})
