@@ -289,6 +289,14 @@ func BenchmarkAblationEthernetMode(b *testing.B) {
 // the tracked BENCH_hotpath.json baseline.
 func BenchmarkPacketHotPath(b *testing.B) { bench.PacketHotPath(b) }
 
+// BenchmarkPacketHotPathFatTree is the same hot path on the fat-tree
+// backend — interface dispatch must stay alloc-free on every topology.
+func BenchmarkPacketHotPathFatTree(b *testing.B) { bench.PacketHotPathFatTree(b) }
+
+// BenchmarkTopoBuild constructs all three topology backends per
+// iteration (the per-grid-cell setup cost).
+func BenchmarkTopoBuild(b *testing.B) { bench.TopoBuild(b) }
+
 // BenchmarkRunCell measures one full congestion-grid cell per iteration —
 // the unit the Fig. 9-14 grids scale by.
 func BenchmarkRunCell(b *testing.B) { bench.RunCell(b) }

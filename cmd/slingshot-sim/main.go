@@ -8,6 +8,7 @@
 //	slingshot-sim run fig6 -format json         # machine-readable output
 //	slingshot-sim run fig9 -nodes 128 -set quick -jobs 8
 //	slingshot-sim run fig9 -seeds 1,2,3 -format csv
+//	slingshot-sim run topo-compare -topo fattree # one backend of the sweep
 //	slingshot-sim run all                       # every experiment, default scale
 package main
 
@@ -83,6 +84,7 @@ type runConfig struct {
 	jobs     int
 	set      string
 	panel    string
+	topo     string
 	format   string
 }
 
@@ -97,6 +99,8 @@ func runFlags(c *runConfig) *flag.FlagSet {
 	fs.IntVar(&c.jobs, "jobs", 0, "worker pool size for independent grid points (0 = all cores)")
 	fs.StringVar(&c.set, "set", "quick", "victim set for fig9/fig10: quick|apps|full")
 	fs.StringVar(&c.panel, "panel", "A", "fig10 panel: A (allocations), B (high PPN), C (small)")
+	fs.StringVar(&c.topo, "topo", "",
+		"topo-compare backend: dragonfly|fattree|hyperx (empty = all three)")
 	fs.StringVar(&c.format, "format", "table",
 		"output format: "+strings.Join(results.Formats(), "|"))
 	return fs
@@ -158,6 +162,11 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown panel %q (want A|B|C)", cfg.panel)
 	}
+	switch cfg.topo {
+	case "", "dragonfly", "fattree", "hyperx":
+	default:
+		return fmt.Errorf("unknown topology %q (want dragonfly|fattree|hyperx)", cfg.topo)
+	}
 	seeds, err := parseSeeds(cfg.seeds, cfg.seed)
 	if err != nil {
 		return err
@@ -183,6 +192,7 @@ func run(args []string) error {
 				Jobs:     cfg.jobs,
 				Victims:  vs,
 				Panel:    cfg.panel,
+				Topo:     cfg.topo,
 			}
 			res, err := e.Run(opt)
 			if err != nil {

@@ -56,7 +56,7 @@ func printSystem(name string, cfg topology.Config) {
 		os.Exit(1)
 	}
 	local, global := 0, 0
-	for _, l := range d.Links {
+	for _, l := range d.Links() {
 		switch l.Kind {
 		case topology.LocalLink:
 			local++

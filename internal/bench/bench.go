@@ -54,6 +54,60 @@ func PacketHotPath(b *testing.B) {
 	net.Eng.RunWhile(func() bool { return delivered < b.N })
 }
 
+// PacketHotPathFatTree is PacketHotPath on the fat-tree backend behind
+// the same Topology interface: a 2-pod folded Clos with the paper's
+// 100 Gb/s RoCE profile (jitter off). Tracking it next to the Dragonfly
+// variant keeps the interface-dispatch cost of the refactored fabric
+// visible per backend.
+func PacketHotPathFatTree(b *testing.B) {
+	topo := topology.MustBuild(topology.FatTreeConfig{
+		Pods: 2, EdgePerPod: 2, AggPerPod: 2, CorePerAgg: 2, NodesPerEdge: 8,
+	})
+	prof := fabric.FatTree100GProfile()
+	prof.Topo = nil // the benchmark supplies its own small instance
+	prof.SwitchJitter = false
+	net := fabric.New(topo, prof, 5)
+	delivered := 0
+	net.Taps.OnPacketDelivered = func(p *fabric.Packet, _ sim.Time) { delivered++ }
+
+	const msgBytes = 32 * 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	var post func(src, dst topology.NodeID)
+	post = func(src, dst topology.NodeID) {
+		if delivered >= b.N {
+			return
+		}
+		net.Send(src, dst, msgBytes, fabric.SendOpts{
+			NoRendezvous: true,
+			OnDelivered:  func(sim.Time) { post(src, dst) },
+		})
+	}
+	for i := 0; i < 8; i++ {
+		for w := 0; w < 4; w++ {
+			post(topology.NodeID(i), topology.NodeID(16+i)) // cross-pod flows
+		}
+	}
+	net.Eng.RunWhile(func() bool { return delivered < b.N })
+}
+
+// TopoBuild constructs one instance of every backend (a ~64-node
+// Dragonfly, fat-tree and HyperX) per iteration, so ns/op and allocs/op
+// track the cost of topology construction — the per-grid-cell setup work
+// every experiment pays before the first packet moves.
+func TopoBuild(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := topology.MustBuild(topology.ScaledConfig(64))
+		f := topology.MustBuild(topology.FatTreeFor(64))
+		h := topology.MustBuild(topology.HyperXFor(64))
+		if d.Nodes() < 64 || f.Nodes() < 64 || h.Nodes() < 64 {
+			b.Fatal("backend under-built")
+		}
+	}
+}
+
 // RunCell runs one full congestion-grid cell per iteration — the unit of
 // work the Fig. 9-14 grids scale by (build network, measure the victim
 // isolated, start the aggressor, measure congested). ns/op is the cost of
@@ -87,6 +141,8 @@ func Suite() []struct {
 		Fn   func(*testing.B)
 	}{
 		{"PacketHotPath", "packet", PacketHotPath},
+		{"PacketHotPathFatTree", "packet", PacketHotPathFatTree},
+		{"TopoBuild", "build(x3)", TopoBuild},
 		{"RunCell", "cell", RunCell},
 	}
 }

@@ -20,9 +20,11 @@ type Taps struct {
 }
 
 // Network is a running simulated system: topology + switches + NICs under
-// one discrete-event engine.
+// one discrete-event engine. It is built from the backend-neutral
+// topology.Topology contract, so the same switch/NIC/QoS machinery runs a
+// Dragonfly, a fat-tree, or a HyperX unchanged.
 type Network struct {
-	Topo *topology.Dragonfly
+	Topo topology.Topology
 	Eng  *sim.Engine
 	Prof Profile
 	QoS  *qos.Config
@@ -57,7 +59,7 @@ type Network struct {
 
 // New builds a network over the given topology with the given profile.
 // seed makes the run reproducible.
-func New(topo *topology.Dragonfly, prof Profile, seed uint64) *Network {
+func New(topo topology.Topology, prof Profile, seed uint64) *Network {
 	qcfg := prof.QoS
 	if qcfg == nil {
 		qcfg = qos.DefaultConfig()
@@ -76,20 +78,31 @@ func New(topo *topology.Dragonfly, prof Profile, seed uint64) *Network {
 	return n
 }
 
+// NewFromProfile builds a network over the profile's own topology
+// constructor (Profile.Topo). It panics when the profile carries none or
+// the build fails — profiles with a Topo are validated configurations.
+func NewFromProfile(prof Profile, seed uint64) *Network {
+	if prof.Topo == nil {
+		panic(fmt.Sprintf("fabric: profile %q has no topology constructor", prof.Name))
+	}
+	return New(topology.MustBuild(prof.Topo), prof, seed)
+}
+
 func (n *Network) build() {
 	topo := n.Topo
 	prof := &n.Prof
 	n.switches = make([]*Switch, topo.Switches())
 	for i := range n.switches {
 		rng := n.rng.Split()
+		first, count := topo.SwitchNodes(topology.SwitchID(i))
 		n.switches[i] = &Switch{
 			net:       n,
 			ID:        topology.SwitchID(i),
 			rng:       rng,
 			lat:       rosetta.NewLatencyModel(rng.Split()),
 			ports:     make([][]*outPort, topo.NeighborCount(topology.SwitchID(i))),
-			edge:      make([]*outPort, topo.Cfg.NodesPerSwitch),
-			firstNode: i * topo.Cfg.NodesPerSwitch,
+			edge:      make([]*outPort, count),
+			firstNode: int(first),
 		}
 	}
 	n.nics = make([]*NIC, topo.Nodes())
@@ -112,7 +125,7 @@ func (n *Network) build() {
 		return phy.NewLink(nil, 0, prof.LLR), rng
 	}
 
-	for _, l := range topo.Links {
+	for _, l := range topo.Links() {
 		switch l.Kind {
 		case topology.EdgeLink:
 			sw := n.switches[l.A]
@@ -338,7 +351,10 @@ func (n *Network) revLatency(path topology.Path) sim.Time {
 	}
 	lat += sim.Time(len(path)) * perSwitch
 	for i := 0; i+1 < len(path); i++ {
-		if n.Topo.GroupOf(path[i]) != n.Topo.GroupOf(path[i+1]) {
+		// Optical vs copper per hop follows the link kind, read off the
+		// built port tables (for the Dragonfly this is exactly the old
+		// cross-group test: links between groups are the optical ones).
+		if n.switches[path[i]].portsTo(path[i+1])[0].global {
 			lat += phy.OpticalDelay()
 		} else {
 			lat += phy.CopperDelay()

@@ -1,6 +1,7 @@
 // Package fabric is the packet-level discrete-event simulator at the heart
-// of this reproduction. It assembles a Dragonfly topology of Rosetta-style
-// switches and RoCE NICs into a running network with:
+// of this reproduction. It assembles any topology.Topology backend
+// (Dragonfly, fat-tree, HyperX) of Rosetta-style switches and RoCE NICs
+// into a running network with:
 //
 //   - finite input buffers and credit-based link-level flow control (so
 //     congestion trees and HOL blocking emerge naturally, as they do on
@@ -23,11 +24,19 @@ import (
 	"repro/internal/qos"
 	"repro/internal/rosetta"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // Profile is the hardware/algorithm personality of a simulated system.
 type Profile struct {
 	Name string
+
+	// Topo optionally pairs the link/latency model with a topology
+	// constructor — the shape this hardware ships as (e.g. FatTree100G
+	// builds a folded Clos). NewFromProfile builds it; callers that
+	// construct their own topology (the harness systems, tests) pass one
+	// to New directly and may leave Topo nil.
+	Topo topology.Builder
 
 	// FabricBits is the switch-to-switch link bandwidth (bits/s/direction).
 	FabricBits int64
@@ -151,6 +160,30 @@ func AriesProfile() Profile {
 	p.FabricMode = ethernet.Standard
 	// Aries adaptive routing is similar (§I: "uses a similar routing
 	// algorithm"); keep it on.
+	return p
+}
+
+// FatTree100GProfile models the paper's comparison systems (§I, §III): a
+// 100 Gb/s fat-tree cluster with standard RoCE NICs, classic Ethernet
+// framing end to end, DCQCN-style (ECN-like) congestion control and
+// ECMP-flavoured routing — equal-cost minimal paths chosen by load with
+// noisy estimates, detours strongly discouraged. The profile pairs the
+// link model with its topology: a folded Clos sized like Shandy.
+func FatTree100GProfile() Profile {
+	p := SlingshotProfile()
+	p.Name = "fattree-100g"
+	p.Topo = topology.FatTreeFor(1024)
+	p.FabricBits = 100e9
+	p.EdgeBits = 100e9
+	p.CC = congestion.DefaultParams(congestion.ECNLike)
+	// ECMP hashes flows over the equal-cost ups without congestion
+	// feedback: model it as minimal-only-ish spreading with coarse load
+	// information.
+	p.MinimalBias = 4
+	p.RouteNoise = 0.3
+	p.EdgeMode = ethernet.Standard
+	p.FabricMode = ethernet.Standard
+	p.LLR = false // plain Ethernet links, no link-level retry
 	return p
 }
 

@@ -15,7 +15,7 @@ type Switch struct {
 	lat *rosetta.LatencyModel
 	// ports[i] holds the (possibly parallel) egress ports towards the
 	// i-th adjacent switch, indexed by the topology's dense neighbor
-	// index (Dragonfly.NeighborIndex) — resolved at build time so the
+	// index (Topology.NeighborIndex) — resolved at build time so the
 	// per-hop forwarding path does zero map lookups.
 	ports [][]*outPort
 	// edge[i] is the egress port towards the i-th locally attached NIC

@@ -1,0 +1,167 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// The fabric is built from the backend-neutral Topology contract: these
+// tests run the conservation and path-validity properties the Dragonfly
+// suite pins (conservation_test.go, reliability_test.go) on the fat-tree
+// and HyperX backends.
+
+// backendTopos returns small instances of the two new backends.
+func backendTopos() map[string]topology.Topology {
+	return map[string]topology.Topology{
+		"fattree": topology.MustBuild(topology.FatTreeConfig{
+			Pods: 2, EdgePerPod: 2, AggPerPod: 2, CorePerAgg: 2, NodesPerEdge: 4,
+		}),
+		"hyperx": topology.MustBuild(topology.HyperXConfig{
+			Dims: []int{3, 3}, NodesPerSwitch: 2,
+		}),
+	}
+}
+
+// backendProfile returns the profile exercised on each backend: the
+// paper's 100G RoCE profile on the fat-tree, Slingshot on the HyperX.
+func backendProfile(kind string) Profile {
+	var prof Profile
+	if kind == "fattree" {
+		prof = FatTree100GProfile()
+		prof.Topo = nil // the test supplies its own small instance
+	} else {
+		prof = SlingshotProfile()
+	}
+	prof.SwitchJitter = false
+	return prof
+}
+
+// TestNewFromProfile: a profile that pairs its link model with a
+// topology constructor builds a working network on its own.
+func TestNewFromProfile(t *testing.T) {
+	prof := FatTree100GProfile()
+	prof.SwitchJitter = false
+	n := NewFromProfile(prof, 3)
+	if n.Topo.Kind() != "fattree" || n.Topo.Nodes() < 1024 {
+		t.Fatalf("profile built %s with %d nodes", n.Topo.Kind(), n.Topo.Nodes())
+	}
+	done := false
+	n.Send(0, topology.NodeID(n.Topo.Nodes()-1), 4096,
+		SendOpts{OnDelivered: func(sim.Time) { done = true }})
+	n.Eng.Run()
+	if !done {
+		t.Fatal("message not delivered on profile-built fat-tree")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFromProfile without a Topo should panic")
+		}
+	}()
+	NewFromProfile(SlingshotProfile(), 1)
+}
+
+// TestBackendsAllTrafficDelivered: on a quiet fat-tree and HyperX, every
+// message completes and delivered bytes match sent bytes exactly.
+func TestBackendsAllTrafficDelivered(t *testing.T) {
+	for kind, topo := range backendTopos() {
+		t.Run(kind, func(t *testing.T) {
+			n := New(topo, backendProfile(kind), 11)
+			rng := sim.NewRNG(12)
+			var sent int64
+			done, total := 0, 0
+			for i := 0; i < 150; i++ {
+				src := topology.NodeID(rng.Intn(topo.Nodes()))
+				dst := topology.NodeID(rng.Intn(topo.Nodes()))
+				if src == dst {
+					continue
+				}
+				bytes := int64(rng.Intn(48*1024) + 1)
+				sent += bytes
+				total++
+				n.Send(src, dst, bytes, SendOpts{OnDelivered: func(sim.Time) { done++ }})
+			}
+			n.Eng.Run()
+			if done != total {
+				t.Fatalf("delivered %d/%d messages", done, total)
+			}
+			if n.BytesDelivered != sent {
+				t.Errorf("BytesDelivered = %d, want %d", n.BytesDelivered, sent)
+			}
+		})
+	}
+}
+
+// TestBackendsPacketPathsValid: every delivered packet carries a route the
+// topology itself validates, from source switch to destination switch.
+func TestBackendsPacketPathsValid(t *testing.T) {
+	for kind, topo := range backendTopos() {
+		t.Run(kind, func(t *testing.T) {
+			n := New(topo, backendProfile(kind), 21)
+			bad := 0
+			n.Taps.OnPacketDelivered = func(p *Packet, _ sim.Time) {
+				if !topo.Valid(p.Path) ||
+					p.Path[0] != topo.SwitchOf(p.Msg.Src) ||
+					p.Path[len(p.Path)-1] != topo.SwitchOf(p.Msg.Dst) {
+					bad++
+				}
+			}
+			rng := sim.NewRNG(22)
+			done, total := 0, 0
+			for i := 0; i < 150; i++ {
+				src := topology.NodeID(rng.Intn(topo.Nodes()))
+				dst := topology.NodeID(rng.Intn(topo.Nodes()))
+				if src == dst {
+					continue
+				}
+				total++
+				n.Send(src, dst, int64(rng.Intn(32*1024)+1), SendOpts{
+					OnDelivered: func(sim.Time) { done++ }})
+			}
+			n.Eng.Run()
+			if done != total {
+				t.Fatalf("delivered %d/%d", done, total)
+			}
+			if bad != 0 {
+				t.Errorf("%d packets took invalid paths", bad)
+			}
+		})
+	}
+}
+
+// TestBackendsLossyLinkConservation mirrors TestLossyLinkNoDoubleCounting
+// on the new backends: with lossy links and end-to-end retries, every sent
+// packet is delivered exactly once — no drops, no double counting.
+func TestBackendsLossyLinkConservation(t *testing.T) {
+	for kind, topo := range backendTopos() {
+		t.Run(kind, func(t *testing.T) {
+			prof := backendProfile(kind)
+			prof.FrameBER = 0.02
+			prof.LLR = false
+			prof.RetryTimeout = 20 * sim.Microsecond
+			n := New(topo, prof, 31)
+			const msgs = 30
+			perMsg := make([]int, msgs)
+			var wantPkts int64
+			nodes := topo.Nodes()
+			for i := 0; i < msgs; i++ {
+				m := n.Send(topology.NodeID(i%4), topology.NodeID(nodes-1-i%4), 64*1024,
+					SendOpts{OnDelivered: func(at sim.Time) { perMsg[i]++ }})
+				wantPkts += int64(m.numPackets)
+			}
+			n.Eng.Run()
+			if n.E2ERetries == 0 {
+				t.Fatal("test expects end-to-end retries at 2% loss")
+			}
+			for i, c := range perMsg {
+				if c != 1 {
+					t.Errorf("message %d OnDelivered fired %d times", i, c)
+				}
+			}
+			if n.PacketsDelivered != wantPkts {
+				t.Errorf("PacketsDelivered = %d, want exactly %d", n.PacketsDelivered, wantPkts)
+			}
+		})
+	}
+}

@@ -85,7 +85,7 @@ var Fig9Splits = []float64{0.9, 0.5, 0.1}
 // interference the experiment studies).
 func Fig9Heatmap(opt Options, set VictimSet) Fig9Result {
 	opt = opt.withDefaults(fig9Defaults)
-	return congestionGrid(opt, set, placement.Linear, gridSystems(opt.Nodes), Fig9Splits)
+	return congestionGrid(opt, Victims(set), placement.Linear, gridSystems(opt.Nodes), Fig9Splits)
 }
 
 // gridSystems builds the Aries and Slingshot machines with the paper's
@@ -97,8 +97,7 @@ func gridSystems(nodes int) []System {
 // congestionGrid builds every cell of a heatmap up front — assigning each
 // its seed in row-major order, exactly as the sequential runner did — and
 // fans the independent cells out over RunGrid's worker pool.
-func congestionGrid(opt Options, set VictimSet, alloc placement.Policy, systems []System, splits []float64) Fig9Result {
-	victims := Victims(set)
+func congestionGrid(opt Options, victims []Victim, alloc placement.Policy, systems []System, splits []float64) Fig9Result {
 	res := Fig9Result{}
 	for _, v := range victims {
 		res.Columns = append(res.Columns, v.Label)
@@ -205,7 +204,7 @@ func Fig10Distributions(opt Options, set VictimSet, panel string) Fig10Result {
 	res := Fig10Result{Panel: panel}
 	for _, sys := range gridSystems(opt.Nodes) {
 		for _, alloc := range []placement.Policy{placement.Linear, placement.Interleaved, placement.Random} {
-			grid := congestionGrid(opt, set, alloc, []System{sys}, Fig9Splits)
+			grid := congestionGrid(opt, Victims(set), alloc, []System{sys}, Fig9Splits)
 			sample := stats.NewSample(64)
 			max := 0.0
 			for _, row := range grid.Rows {
@@ -260,7 +259,7 @@ var Fig11Splits = []float64{0.75, 0.5, 0.25} // victim fractions
 // generating the most congestion).
 func Fig11FullScale(opt Options) Fig11Result {
 	opt = opt.withDefaults(fig11Defaults)
-	grid := congestionGrid(opt, VictimsApps, placement.Random,
+	grid := congestionGrid(opt, Victims(VictimsApps), placement.Random,
 		[]System{Shandy(opt.Nodes)}, Fig11Splits)
 	return Fig11Result{Columns: grid.Columns, Rows: grid.Rows}
 }

@@ -38,6 +38,9 @@ type Options struct {
 	Victims VictimSet
 	// Panel selects the Fig. 10 panel: "A", "B", or "C" (default "A").
 	Panel string
+	// Topo restricts topo-compare to one backend
+	// ("dragonfly"|"fattree"|"hyperx"; "" runs all three).
+	Topo string
 }
 
 // withDefaults fills zero fields from an experiment's default options
@@ -73,11 +76,15 @@ func (o Options) withDefaults(d Options) Options {
 	return o
 }
 
-// System couples a topology shape with a hardware profile.
+// System couples a topology shape with a hardware profile. Dragonfly
+// systems fill Topo (the figN experiments also read its shape fields);
+// other backends set Builder, which takes precedence over it. Only when
+// both are zero does the profile's own constructor (Prof.Topo) apply.
 type System struct {
-	Name string
-	Topo topology.Config
-	Prof fabric.Profile
+	Name    string
+	Topo    topology.Config
+	Builder topology.Builder
+	Prof    fabric.Profile
 }
 
 // Shandy returns the 1024-node Slingshot system (scaled to n nodes when
@@ -123,9 +130,20 @@ func Crystal(n int) System {
 	return System{Name: "Aries (Crystal)", Prof: fabric.AriesProfile(), Topo: cfg}
 }
 
-// build instantiates the network for a system.
+// build instantiates the network for a system: Builder, else an
+// explicitly set Dragonfly Topo, else the profile's own constructor.
 func (s System) build(seed uint64) *fabric.Network {
-	return fabric.New(topology.MustNew(s.Topo), s.Prof, seed)
+	b := s.Builder
+	if b == nil && s.Topo != (topology.Config{}) {
+		b = s.Topo
+	}
+	if b == nil && s.Prof.Topo != nil {
+		b = s.Prof.Topo
+	}
+	if b == nil {
+		b = s.Topo // zero config: Validate reports the empty system
+	}
+	return fabric.New(topology.MustBuild(b), s.Prof, seed)
 }
 
 // nodeRange returns the first n node IDs.

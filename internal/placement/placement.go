@@ -112,17 +112,20 @@ func Split(total, victims int, policy Policy, rng *sim.RNG) (victim, aggressor [
 }
 
 // SharedSwitches counts the switches that host nodes from both sets — a
-// proxy for how entangled the two jobs are.
-func SharedSwitches(d *topology.Dragonfly, a, b []topology.NodeID) int {
-	sa := make(map[topology.SwitchID]bool)
+// proxy for how entangled the two jobs are. Switch IDs are dense
+// (0..Switches()-1 by the Topology contract), so membership is two flat
+// bitmaps indexed by SwitchID: no map iteration, no per-call hashing, and
+// a deterministic scan order regardless of input order.
+func SharedSwitches(t topology.Topology, a, b []topology.NodeID) int {
+	marks := make([]bool, 2*t.Switches())
+	inA, seen := marks[:t.Switches()], marks[t.Switches():]
 	for _, n := range a {
-		sa[d.SwitchOf(n)] = true
+		inA[t.SwitchOf(n)] = true
 	}
-	seen := make(map[topology.SwitchID]bool)
 	shared := 0
 	for _, n := range b {
-		s := d.SwitchOf(n)
-		if sa[s] && !seen[s] {
+		s := t.SwitchOf(n)
+		if inA[s] && !seen[s] {
 			seen[s] = true
 			shared++
 		}

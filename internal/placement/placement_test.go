@@ -146,6 +146,36 @@ func TestSharedSwitches(t *testing.T) {
 	}
 }
 
+// SharedSwitches takes the backend-neutral Topology interface and its
+// dense-bitmap scan must not depend on node order.
+func TestSharedSwitchesGeneric(t *testing.T) {
+	topos := []topology.Topology{
+		topology.MustBuild(topology.Config{
+			Groups: 2, SwitchesPerGroup: 4, NodesPerSwitch: 4, GlobalPerPair: 2,
+		}),
+		topology.MustBuild(topology.FatTreeFor(32)),
+		topology.MustBuild(topology.HyperXFor(32)),
+	}
+	for _, tp := range topos {
+		v, a := Split(32, 16, Interleaved, nil)
+		want := SharedSwitches(tp, v, a)
+		// Reversing both sets must not change the count.
+		rev := func(ns []topology.NodeID) []topology.NodeID {
+			out := make([]topology.NodeID, len(ns))
+			for i, n := range ns {
+				out[len(ns)-1-i] = n
+			}
+			return out
+		}
+		if got := SharedSwitches(tp, rev(v), rev(a)); got != want {
+			t.Errorf("%s: order-dependent SharedSwitches: %d vs %d", tp.Kind(), got, want)
+		}
+		if want == 0 {
+			t.Errorf("%s: interleaved split unexpectedly shares nothing", tp.Kind())
+		}
+	}
+}
+
 func TestPolicyString(t *testing.T) {
 	if Linear.String() != "linear" || Interleaved.String() != "interleaved" ||
 		Random.String() != "random" || Policy(9).String() != "unknown" {

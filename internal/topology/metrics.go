@@ -102,10 +102,7 @@ func ScaledConfig(n int) Config {
 	} else if n < 256 {
 		groups = 4
 	}
-	nodesPerSwitch := 16
-	if n < 32 {
-		nodesPerSwitch = 4
-	}
+	nodesPerSwitch := scaledEndpointsPerSwitch(n)
 	perGroup := (n + groups - 1) / groups
 	spg := (perGroup + nodesPerSwitch - 1) / nodesPerSwitch
 	if spg < 2 {
@@ -115,15 +112,20 @@ func ScaledConfig(n int) Config {
 		Groups:           groups,
 		SwitchesPerGroup: spg,
 		NodesPerSwitch:   nodesPerSwitch,
-		GlobalPerPair:    maxInt(1, spg),
+		GlobalPerPair:    max(1, spg),
 	}
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// scaledEndpointsPerSwitch is the endpoint density all the reduced-scale
+// sizing helpers (ScaledConfig, FatTreeFor, HyperXFor) share, so
+// topo-compare machines built for the same node budget are comparably
+// provisioned: Shandy's 16 nodes per switch, sparser only for tiny
+// systems.
+func scaledEndpointsPerSwitch(n int) int {
+	if n < 32 {
+		return 4
 	}
-	return b
+	return 16
 }
 
 // BisectionLinks returns the number of global links crossing the even

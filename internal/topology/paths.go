@@ -10,11 +10,6 @@ type Path []SwitchID
 // InterSwitchHops returns the number of switch-to-switch links traversed.
 func (p Path) InterSwitchHops() int { return len(p) - 1 }
 
-// localAdjacent reports whether two distinct switches share a direct link.
-func (d *Dragonfly) localAdjacent(a, b SwitchID) bool {
-	return d.adjIndex[a][b] >= 0
-}
-
 // intraPaths returns the minimal intra-group paths between two switches of
 // the same group: the direct link when one exists, otherwise (Grid2D) the
 // two row-then-column / column-then-row alternatives.
@@ -81,7 +76,7 @@ func (d *Dragonfly) MinimalPaths(src, dst SwitchID, max int) []Path {
 	}
 	var out []Path
 	for _, id := range d.globalOut[gs][gd] {
-		l := d.Links[id]
+		l := d.links[id]
 		a, b := l.A, l.B
 		if d.GroupOf(a) != gs {
 			a, b = b, a
@@ -105,7 +100,7 @@ func (d *Dragonfly) MinimalPaths(src, dst SwitchID, max int) []Path {
 		// Degenerate overlaps (e.g. src is also the far gateway's grid
 		// intermediate): fall back to any valid single-link composition.
 		for _, id := range d.globalOut[gs][gd] {
-			l := d.Links[id]
+			l := d.links[id]
 			a, b := l.A, l.B
 			if d.GroupOf(a) != gs {
 				a, b = b, a
@@ -122,20 +117,10 @@ func (d *Dragonfly) MinimalPaths(src, dst SwitchID, max int) []Path {
 	return out
 }
 
-// The arena variants below mirror intraPaths/compose but build their
-// paths in the Dragonfly's reusable pathNodes buffer. They back
-// NonMinimalPaths, which runs once per routed packet: the hot path must
-// construct and discard candidate paths without allocating.
-
-// arenaPath appends the given switches as one arena-backed path.
-func (d *Dragonfly) arenaPath(sw ...SwitchID) Path {
-	s := len(d.pathNodes)
-	d.pathNodes = append(d.pathNodes, sw...)
-	return d.pathNodes[s:len(d.pathNodes):len(d.pathNodes)]
-}
-
 // arenaIntraFirst is intraPaths(a, b)[0] — the first minimal intra-group
-// path — built in the arena.
+// path — built in the shared pathArena (see interface.go): NonMinimalPaths
+// runs once per routed packet, and the hot path must construct and discard
+// candidate paths without allocating.
 func (d *Dragonfly) arenaIntraFirst(a, b SwitchID) Path {
 	if a == b {
 		return d.arenaPath(a)
@@ -148,29 +133,6 @@ func (d *Dragonfly) arenaIntraFirst(a, b SwitchID) Path {
 	ia, ib := int(a)-base, int(b)-base
 	m1 := SwitchID(base + (ia/d.cols)*d.cols + ib%d.cols)
 	return d.arenaPath(a, m1, b)
-}
-
-// arenaCompose is compose built in the arena. The segments may themselves
-// be arena-backed: they occupy earlier arena indices, so appending the
-// composition after them never aliases its inputs.
-func (d *Dragonfly) arenaCompose(segs ...Path) Path {
-	s := len(d.pathNodes)
-	for _, seg := range segs {
-		for i, sw := range seg {
-			out := d.pathNodes[s:]
-			if len(out) > 0 && i == 0 && out[len(out)-1] == sw {
-				continue // shared junction
-			}
-			for _, prev := range out {
-				if prev == sw {
-					d.pathNodes = d.pathNodes[:s] // revisit: discard
-					return nil
-				}
-			}
-			d.pathNodes = append(d.pathNodes, sw)
-		}
-	}
-	return d.pathNodes[s:len(d.pathNodes):len(d.pathNodes)]
 }
 
 // NonMinimalPaths enumerates up to max non-minimal (Valiant-style) paths.
@@ -256,7 +218,7 @@ func (d *Dragonfly) pathViaGroup(src, dst SwitchID, gi GroupID, rng *sim.RNG) Pa
 		if rng != nil {
 			i = rng.Intn(len(ids))
 		}
-		return d.Links[ids[i]]
+		return d.links[ids[i]]
 	}
 	l1 := pick(in)
 	a1, b1 := l1.A, l1.B // a1 in gs, b1 in gi
@@ -291,7 +253,7 @@ func (d *Dragonfly) detourViaAltGateway(src, dst SwitchID, rng *sim.RNG, max int
 		start = rng.Intn(len(links))
 	}
 	for i := 0; i < len(links) && len(out) < max; i++ {
-		l := d.Links[links[(start+i)%len(links)]]
+		l := d.links[links[(start+i)%len(links)]]
 		a, b := l.A, l.B
 		if d.GroupOf(a) != gs {
 			a, b = b, a
@@ -305,23 +267,4 @@ func (d *Dragonfly) detourViaAltGateway(src, dst SwitchID, rng *sim.RNG, max int
 		}
 	}
 	return out
-}
-
-// Valid reports whether every consecutive pair in the path is adjacent and
-// no switch repeats. Used by tests and debug assertions.
-func (d *Dragonfly) Valid(p Path) bool {
-	if len(p) == 0 {
-		return false
-	}
-	seen := make(map[SwitchID]bool, len(p))
-	for i, s := range p {
-		if s < 0 || int(s) >= d.sw || seen[s] {
-			return false
-		}
-		seen[s] = true
-		if i > 0 && d.adjIndex[p[i-1]][s] < 0 {
-			return false
-		}
-	}
-	return true
 }

@@ -148,36 +148,33 @@ func (c Config) gridDims() (rows, cols int, err error) {
 	return rows, c.SwitchesPerGroup / rows, nil
 }
 
-// Dragonfly is an immutable built topology.
+// Dragonfly is an immutable built topology. The embedded adjacency,
+// linkTable and pathArena provide the dense neighbor tables, the link
+// store, Valid/Diameter, and the NonMinimalPaths construction arena
+// shared by every backend.
 type Dragonfly struct {
+	adjacency
+	linkTable
+	pathArena
 	Cfg   Config
-	Links []Link
 	nodes int
-	sw    int
 	// rows/cols of the intra-group grid (1 x SwitchesPerGroup for
 	// FullMesh).
 	rows, cols int
-	// Slice-indexed adjacency (no maps — the routing hot path queries it
-	// per hop): adj[s] lists s's neighbor switches in link-discovery
-	// order, adjLinks[s][i] the (parallel) link IDs towards adj[s][i],
-	// and adjIndex[s][t] the index i such that adj[s][i] == t, or -1 when
-	// s and t are not adjacent.
-	adj      [][]SwitchID
-	adjLinks [][][]int
-	adjIndex [][]int32
 	// globalOut[g1][g2] lists link IDs connecting group g1 to group g2.
 	globalOut [][][]int
-	// edge[n] is the link ID of node n's edge link.
-	edge []int
-	// Path-construction arena reused by NonMinimalPaths (one adaptive
-	// routing decision per packet on the hot path): candidate paths are
-	// built in pathNodes and collected in outPaths, so steady-state
-	// routing allocates nothing. Both are reset on every call, which is
-	// why NonMinimalPaths results must be copied if retained — and why a
-	// Dragonfly must not serve routing queries from multiple goroutines
-	// (each Network builds its own).
-	pathNodes []SwitchID
-	outPaths  []Path
+}
+
+// Dragonfly implements the backend-neutral Topology contract.
+var _ Topology = (*Dragonfly)(nil)
+
+// Build lets a Config act as a topology.Builder.
+func (c Config) Build() (Topology, error) {
+	d, err := New(c)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // New builds a Dragonfly from the config. The global links between each
@@ -190,49 +187,23 @@ func New(cfg Config) (*Dragonfly, error) {
 	rows, cols, _ := cfg.gridDims()
 	d := &Dragonfly{
 		Cfg:   cfg,
-		sw:    cfg.Groups * cfg.SwitchesPerGroup,
 		nodes: cfg.Groups * cfg.SwitchesPerGroup * cfg.NodesPerSwitch,
 		rows:  rows,
 		cols:  cols,
 	}
-	d.adj = make([][]SwitchID, d.sw)
-	d.adjLinks = make([][][]int, d.sw)
-	d.adjIndex = make([][]int32, d.sw)
-	idx := make([]int32, d.sw*d.sw)
-	for i := range idx {
-		idx[i] = -1
-	}
-	for i := range d.adjIndex {
-		d.adjIndex[i] = idx[i*d.sw : (i+1)*d.sw]
-	}
+	d.initAdjacency(cfg.Groups * cfg.SwitchesPerGroup)
 	d.globalOut = make([][][]int, cfg.Groups)
 	for g := range d.globalOut {
 		d.globalOut[g] = make([][]int, cfg.Groups)
 	}
-	d.edge = make([]int, d.nodes)
-
-	addLink := func(kind LinkKind, a, b SwitchID, node NodeID) int {
-		id := len(d.Links)
-		d.Links = append(d.Links, Link{ID: id, Kind: kind, A: a, B: b, Node: node})
-		return id
-	}
 
 	// Edge links: node n attaches to switch n / NodesPerSwitch.
-	for n := 0; n < d.nodes; n++ {
-		s := SwitchID(n / cfg.NodesPerSwitch)
-		d.edge[n] = addLink(EdgeLink, s, s, NodeID(n))
-	}
-
-	// addAdj records link id in both directions of the adjacency.
-	addAdj := func(a, b SwitchID, id int) {
-		d.addAdjDir(a, b, id)
-		d.addAdjDir(b, a, id)
-	}
+	d.addEdgeLinks(d.nodes, cfg.NodesPerSwitch)
 
 	// Local links: full mesh within each group, or — for Grid2D (Aries) —
 	// all-to-all inside each row and inside each column.
 	addLocal := func(a, b SwitchID) {
-		addAdj(a, b, addLink(LocalLink, a, b, -1))
+		d.addAdj(a, b, d.addLink(LocalLink, a, b, -1))
 	}
 	for g := 0; g < cfg.Groups; g++ {
 		base := SwitchID(g * cfg.SwitchesPerGroup)
@@ -261,26 +232,14 @@ func New(cfg Config) (*Dragonfly, error) {
 				b := SwitchID(g2*cfg.SwitchesPerGroup + rr[g2])
 				rr[g1] = (rr[g1] + 1) % cfg.SwitchesPerGroup
 				rr[g2] = (rr[g2] + 1) % cfg.SwitchesPerGroup
-				id := addLink(GlobalLink, a, b, -1)
-				addAdj(a, b, id)
+				id := d.addLink(GlobalLink, a, b, -1)
+				d.addAdj(a, b, id)
 				d.globalOut[g1][g2] = append(d.globalOut[g1][g2], id)
 				d.globalOut[g2][g1] = append(d.globalOut[g2][g1], id)
 			}
 		}
 	}
 	return d, nil
-}
-
-// addAdjDir appends link id to the a->b adjacency.
-func (d *Dragonfly) addAdjDir(a, b SwitchID, id int) {
-	i := d.adjIndex[a][b]
-	if i < 0 {
-		i = int32(len(d.adj[a]))
-		d.adjIndex[a][b] = i
-		d.adj[a] = append(d.adj[a], b)
-		d.adjLinks[a] = append(d.adjLinks[a], nil)
-	}
-	d.adjLinks[a][i] = append(d.adjLinks[a][i], id)
 }
 
 // MustNew is New but panics on error; for tests and fixed example configs.
@@ -292,11 +251,17 @@ func MustNew(cfg Config) *Dragonfly {
 	return d
 }
 
+// Kind names the backend.
+func (d *Dragonfly) Kind() string { return "dragonfly" }
+
 // Nodes returns the endpoint count.
 func (d *Dragonfly) Nodes() int { return d.nodes }
 
-// Switches returns the switch count.
-func (d *Dragonfly) Switches() int { return d.sw }
+// SwitchNodes returns the contiguous node range attached to switch s.
+func (d *Dragonfly) SwitchNodes(s SwitchID) (first NodeID, count int) {
+	nps := d.Cfg.NodesPerSwitch
+	return NodeID(int(s) * nps), nps
+}
 
 // GroupOf returns the group containing switch s.
 func (d *Dragonfly) GroupOf(s SwitchID) GroupID {
@@ -313,44 +278,12 @@ func (d *Dragonfly) GroupOfNode(n NodeID) GroupID {
 	return d.GroupOf(d.SwitchOf(n))
 }
 
-// EdgeLinkOf returns the link ID of node n's edge link.
-func (d *Dragonfly) EdgeLinkOf(n NodeID) int { return d.edge[n] }
-
-// LinksBetween returns the IDs of the (parallel) links directly connecting
-// switches a and b, or nil when they are not adjacent.
-func (d *Dragonfly) LinksBetween(a, b SwitchID) []int {
-	if i := d.adjIndex[a][b]; i >= 0 {
-		return d.adjLinks[a][i]
-	}
-	return nil
-}
-
-// NeighborIndex returns b's dense index in a's neighbor list (the order
-// Neighbors reports), or -1 when the switches are not adjacent. The index
-// is stable for the lifetime of the topology, so per-switch runtime state
-// (e.g. fabric egress-port tables) can be slice-indexed by it — the
-// routing hot path does zero map lookups per hop.
-func (d *Dragonfly) NeighborIndex(a, b SwitchID) int {
-	return int(d.adjIndex[a][b])
-}
-
-// NeighborCount returns the number of switches adjacent to s.
-func (d *Dragonfly) NeighborCount(s SwitchID) int { return len(d.adj[s]) }
-
 // GlobalLinks returns the IDs of the global links between groups g1 and g2.
 func (d *Dragonfly) GlobalLinks(g1, g2 GroupID) []int {
 	if g1 == g2 {
 		return nil
 	}
 	return d.globalOut[g1][g2]
-}
-
-// Neighbors returns the switches adjacent to s, in deterministic
-// link-discovery order (the same order NeighborIndex indexes).
-func (d *Dragonfly) Neighbors(s SwitchID) []SwitchID {
-	out := make([]SwitchID, len(d.adj[s]))
-	copy(out, d.adj[s])
-	return out
 }
 
 // GatewaysTo returns the switches in group g that own a global link to
@@ -361,7 +294,7 @@ func (d *Dragonfly) GatewaysTo(g, tg GroupID) []SwitchID {
 	seen := make(map[SwitchID]bool, len(ids))
 	var out []SwitchID
 	for _, id := range ids {
-		l := d.Links[id]
+		l := d.links[id]
 		s := l.A
 		if d.GroupOf(s) != g {
 			s = l.B

@@ -43,7 +43,7 @@ func TestCounts(t *testing.T) {
 	}
 	// Links: 64 edge + 4 groups * C(4,2)=6 local + C(4,2)=6 pairs * 2 global.
 	edge, local, global := 0, 0, 0
-	for _, l := range d.Links {
+	for _, l := range d.Links() {
 		switch l.Kind {
 		case EdgeLink:
 			edge++
@@ -109,7 +109,7 @@ func TestGlobalLinkBalance(t *testing.T) {
 	// Round-robin assignment must not overload any switch.
 	d := MustNew(ShandyConfig())
 	perSwitch := make(map[SwitchID]int)
-	for _, l := range d.Links {
+	for _, l := range d.Links() {
 		if l.Kind == GlobalLink {
 			perSwitch[l.A]++
 			perSwitch[l.B]++
@@ -175,7 +175,7 @@ func TestMinimalPathsCrossGroup(t *testing.T) {
 				globals := 0
 				for i := 1; i < len(p); i++ {
 					for _, id := range d.LinksBetween(p[i-1], p[i]) {
-						if d.Links[id].Kind == GlobalLink {
+						if d.Links()[id].Kind == GlobalLink {
 							globals++
 							break
 						}
@@ -235,7 +235,7 @@ func TestNonMinimalPaths(t *testing.T) {
 		for i := 1; i < len(p); i++ {
 			kind := LocalLink
 			for _, id := range d.LinksBetween(p[i-1], p[i]) {
-				kind = d.Links[id].Kind
+				kind = d.Links()[id].Kind
 			}
 			if kind == GlobalLink {
 				globals++

@@ -85,7 +85,7 @@ func FFT() App {
 	return App{
 		Name: "FFT", HPC: true,
 		Iterate: func(j *mpi.Job, rng *sim.RNG, done func()) {
-			per := int64(512 * 1024 / maxi(1, j.Size())) // transpose slab per pair
+			per := int64(512 * 1024 / max(1, j.Size())) // transpose slab per pair
 			if per < 64 {
 				per = 64
 			}
@@ -109,13 +109,6 @@ func ResnetProxy() App {
 			})
 		},
 	}
-}
-
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // HPCApps returns the five HPC victim applications of Table I.
