@@ -293,6 +293,15 @@ func BenchmarkPacketHotPath(b *testing.B) { bench.PacketHotPath(b) }
 // backend — interface dispatch must stay alloc-free on every topology.
 func BenchmarkPacketHotPathFatTree(b *testing.B) { bench.PacketHotPathFatTree(b) }
 
+// BenchmarkChoosePath measures one source-switch routing decision per
+// policy on a warm network; the adaptive (default) policy must stay at
+// 0 allocs/decision on the cached-minimal path.
+func BenchmarkChoosePath(b *testing.B) {
+	for _, policy := range []string{"minimal", "adaptive", "ecmp", "valiant"} {
+		b.Run(policy, bench.ChoosePath(policy))
+	}
+}
+
 // BenchmarkTopoBuild constructs all three topology backends per
 // iteration (the per-grid-cell setup cost).
 func BenchmarkTopoBuild(b *testing.B) { bench.TopoBuild(b) }

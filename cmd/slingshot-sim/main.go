@@ -9,6 +9,7 @@
 //	slingshot-sim run fig9 -nodes 128 -set quick -jobs 8
 //	slingshot-sim run fig9 -seeds 1,2,3 -format csv
 //	slingshot-sim run topo-compare -topo fattree # one backend of the sweep
+//	slingshot-sim run policy-compare -routing ecmp -cc delay
 //	slingshot-sim run all                       # every experiment, default scale
 package main
 
@@ -21,8 +22,10 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/congestion"
 	"repro/internal/harness"
 	"repro/internal/results"
+	"repro/internal/routing"
 )
 
 func main() {
@@ -85,6 +88,8 @@ type runConfig struct {
 	set      string
 	panel    string
 	topo     string
+	routing  string
+	cc       string
 	format   string
 }
 
@@ -95,12 +100,18 @@ func runFlags(c *runConfig) *flag.FlagSet {
 	fs.IntVar(&c.maxIters, "iters", 0, "max measurement iterations per point (0 = default)")
 	fs.Uint64Var(&c.seed, "seed", 42, "experiment seed (runs are deterministic per seed)")
 	fs.StringVar(&c.seeds, "seeds", "", "comma-separated seed replicas, e.g. 1,2,3 (overrides -seed)")
-	fs.IntVar(&c.ppn, "ppn", 1, "aggressor processes per node / fig6 ranks per node")
+	fs.IntVar(&c.ppn, "ppn", 0,
+		"aggressor processes per node / fig6 ranks per node (0 = experiment default, usually 1)")
 	fs.IntVar(&c.jobs, "jobs", 0, "worker pool size for independent grid points (0 = all cores)")
 	fs.StringVar(&c.set, "set", "quick", "victim set for fig9/fig10: quick|apps|full")
 	fs.StringVar(&c.panel, "panel", "A", "fig10 panel: A (allocations), B (high PPN), C (small)")
 	fs.StringVar(&c.topo, "topo", "",
-		"topo-compare backend: dragonfly|fattree|hyperx (empty = all three)")
+		"topo-compare/policy-compare backend: dragonfly|fattree|hyperx (empty = all three)")
+	fs.StringVar(&c.routing, "routing", "",
+		"policy-compare routing policy: "+strings.Join(routing.Names(), "|")+" (empty = all)")
+	fs.StringVar(&c.cc, "cc", "",
+		"policy-compare congestion control: "+strings.Join(congestion.Names(), "|")+
+			" (empty = slingshot|ecn|delay)")
 	fs.StringVar(&c.format, "format", "table",
 		"output format: "+strings.Join(results.Formats(), "|"))
 	return fs
@@ -167,6 +178,16 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown topology %q (want dragonfly|fattree|hyperx)", cfg.topo)
 	}
+	if cfg.routing != "" {
+		if _, err := routing.ByName(cfg.routing); err != nil {
+			return err
+		}
+	}
+	if cfg.cc != "" {
+		if _, err := congestion.ByName(cfg.cc); err != nil {
+			return err
+		}
+	}
 	seeds, err := parseSeeds(cfg.seeds, cfg.seed)
 	if err != nil {
 		return err
@@ -193,6 +214,8 @@ func run(args []string) error {
 				Victims:  vs,
 				Panel:    cfg.panel,
 				Topo:     cfg.topo,
+				Routing:  cfg.routing,
+				CC:       cfg.cc,
 			}
 			res, err := e.Run(opt)
 			if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/harness"
+	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/workloads"
@@ -108,6 +109,40 @@ func TopoBuild(b *testing.B) {
 	}
 }
 
+// ChoosePath measures one source-switch routing decision for the named
+// policy on a warm network (minimal-path cache populated, fabric idle):
+// ns/op and allocs/op read directly as the per-packet path-selection cost.
+// The flow ID varies per iteration so hash policies exercise every bucket.
+// On this cached-minimal path the adaptive policy must stay at 0
+// allocs/decision — the gate that keeps routing off the packet hot path's
+// allocation budget.
+func ChoosePath(policy string) func(b *testing.B) {
+	return func(b *testing.B) {
+		topo := topology.MustNew(topology.Config{
+			Groups: 4, SwitchesPerGroup: 4, NodesPerSwitch: 4, GlobalPerPair: 2,
+		})
+		prof := fabric.SlingshotProfile()
+		prof.SwitchJitter = false
+		builder, err := routing.ByName(policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof.Routing = builder
+		net := fabric.New(topo, prof, 5)
+		src, dst := topology.NodeID(0), topology.NodeID(topo.Nodes()-1)
+		if len(net.ChoosePath(src, dst, 0, 0)) == 0 { // warm the cache
+			b.Fatal("no path")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if p := net.ChoosePath(src, dst, int64(i), 0); len(p) == 0 {
+				b.Fatal("no path")
+			}
+		}
+	}
+}
+
 // RunCell runs one full congestion-grid cell per iteration — the unit of
 // work the Fig. 9-14 grids scale by (build network, measure the victim
 // isolated, start the aggressor, measure congested). ns/op is the cost of
@@ -142,6 +177,10 @@ func Suite() []struct {
 	}{
 		{"PacketHotPath", "packet", PacketHotPath},
 		{"PacketHotPathFatTree", "packet", PacketHotPathFatTree},
+		{"ChoosePath/minimal", "decision", ChoosePath("minimal")},
+		{"ChoosePath/adaptive", "decision", ChoosePath("adaptive")},
+		{"ChoosePath/ecmp", "decision", ChoosePath("ecmp")},
+		{"ChoosePath/valiant", "decision", ChoosePath("valiant")},
 		{"TopoBuild", "build(x3)", TopoBuild},
 		{"RunCell", "cell", RunCell},
 	}

@@ -1,0 +1,276 @@
+package congestion
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// pairState is the per-destination window/pacing state every backend
+// shares.
+type pairState struct {
+	window      int64
+	outstanding int64
+	paceGap     sim.Time
+	nextSend    sim.Time
+	lastSignal  sim.Time
+	// ECN/delay: one cut per congestion window / RTT.
+	lastCut sim.Time
+	// Slingshot: one pacing escalation per interval.
+	lastEscalate sim.Time
+	// Stats.
+	signals int64
+}
+
+// base carries the state and mechanics common to every backend: the
+// per-destination pair map, window admission, outstanding-byte accounting
+// and pacing. Algorithms embed it and differ only in how OnAck/OnSignal
+// move the window and pace gap.
+type base struct {
+	p     Params
+	pairs map[topology.NodeID]*pairState
+	stats Stats
+}
+
+func newBase(p Params) base {
+	return base{p: p, pairs: make(map[topology.NodeID]*pairState)}
+}
+
+// Params returns the controller's tuning.
+func (c *base) Params() Params { return c.p }
+
+// Stats exposes the reaction counters.
+func (c *base) Stats() *Stats { return &c.stats }
+
+func (c *base) pair(dst topology.NodeID) *pairState {
+	ps := c.pairs[dst]
+	if ps == nil {
+		ps = &pairState{window: c.p.InitialWindow, lastSignal: -sim.Forever / 2, lastCut: -sim.Forever / 2}
+		c.pairs[dst] = ps
+	}
+	return ps
+}
+
+// CanSend implements the shared window/pacing admission check.
+func (c *base) CanSend(dst topology.NodeID, bytes int64, now sim.Time) (ok bool, retryAt sim.Time) {
+	ps := c.pair(dst)
+	if now < ps.nextSend {
+		c.stats.TotalBlocks++
+		return false, ps.nextSend
+	}
+	// Always allow at least one packet in flight, whatever the window, so
+	// progress is never completely stopped (the hardware paces, it does not
+	// halt).
+	if ps.outstanding > 0 && ps.outstanding+bytes > ps.window {
+		c.stats.TotalBlocks++
+		return false, 0
+	}
+	return true, 0
+}
+
+// OnSend records an injection of bytes to dst.
+func (c *base) OnSend(dst topology.NodeID, bytes int64, now sim.Time) {
+	ps := c.pair(dst)
+	ps.outstanding += bytes
+	if ps.paceGap > 0 {
+		ps.nextSend = now + ps.paceGap
+	}
+}
+
+// ackSettle is the shared front half of every OnAck: it returns the pair
+// with the outstanding-byte account already settled.
+func (c *base) ackSettle(dst topology.NodeID, bytes int64) *pairState {
+	ps := c.pair(dst)
+	ps.outstanding -= bytes
+	if ps.outstanding < 0 {
+		ps.outstanding = 0
+	}
+	return ps
+}
+
+// Outstanding returns the in-flight bytes to dst.
+func (c *base) Outstanding(dst topology.NodeID) int64 {
+	if ps := c.pairs[dst]; ps != nil {
+		return ps.outstanding
+	}
+	return 0
+}
+
+// Window returns the current window for dst.
+func (c *base) Window(dst topology.NodeID) int64 {
+	return c.pair(dst).window
+}
+
+// PaceGap returns the current pacing delay for dst (tests/inspection).
+func (c *base) PaceGap(dst topology.NodeID) sim.Time {
+	return c.pair(dst).paceGap
+}
+
+// noCC is the Aries baseline: no endpoint congestion control at all.
+type noCC struct{ base }
+
+// Algorithm names the backend.
+func (c *noCC) Algorithm() string { return None.String() }
+
+// Hooks: no fabric-side detection needed.
+func (c *noCC) Hooks() Hooks { return Hooks{} }
+
+// OnAck only settles the outstanding-byte account.
+func (c *noCC) OnAck(dst topology.NodeID, bytes int64, _ bool, _, _ sim.Time) bool {
+	c.ackSettle(dst, bytes)
+	return true
+}
+
+// OnSignal is ignored (an Aries NIC has no back-pressure channel).
+func (c *noCC) OnSignal(topology.NodeID, float64, sim.Time) {}
+
+// slingshot is the paper's hardware scheme: stiff, fast per-pair
+// back-pressure with quick recovery (§II-D).
+type slingshot struct{ base }
+
+// Algorithm names the backend.
+func (c *slingshot) Algorithm() string { return Slingshot.String() }
+
+// Hooks: the switch owning the congested endpoint port emits per-source
+// notifications.
+func (c *slingshot) Hooks() Hooks { return Hooks{EndpointSignals: true} }
+
+// OnAck recovers fast once the back-pressure stops.
+func (c *slingshot) OnAck(dst topology.NodeID, bytes int64, _ bool, _, now sim.Time) bool {
+	ps := c.ackSettle(dst, bytes)
+	// Quiet period passed: fast additive recovery plus pacing decay.
+	if now-ps.lastSignal > c.p.RecoveryQuiet {
+		ps.window += bytes
+		if ps.window > c.p.InitialWindow {
+			ps.window = c.p.InitialWindow
+		}
+		ps.paceGap /= 2
+		if ps.paceGap < 100*sim.Nanosecond {
+			ps.paceGap = 0
+		}
+	}
+	return true
+}
+
+// OnSignal applies the stiff, fast response: collapse the window and
+// escalate pacing multiplicatively while signals keep coming.
+func (c *slingshot) OnSignal(dst topology.NodeID, severity float64, now sim.Time) {
+	ps := c.pair(dst)
+	ps.lastSignal = now
+	ps.signals++
+	c.stats.TotalSignals++
+	// Stiff and fast: collapse the window...
+	ps.window = c.p.MinWindow
+	// ...and escalate pacing multiplicatively while signals keep coming.
+	// Escalation is rate-limited (a burst of notifications from one queue
+	// sweep counts once).
+	const escalateEvery = 2 * sim.Microsecond
+	switch {
+	case ps.paceGap == 0:
+		ps.paceGap = sim.Time(float64(2*sim.Microsecond) * severity)
+		if ps.paceGap < 200*sim.Nanosecond {
+			ps.paceGap = 200 * sim.Nanosecond
+		}
+		ps.lastEscalate = now
+	case now-ps.lastEscalate >= escalateEvery:
+		ps.paceGap *= 2
+		ps.lastEscalate = now
+	}
+	if ps.paceGap > c.p.MaxPaceGap {
+		ps.paceGap = c.p.MaxPaceGap
+	}
+	if ps.nextSend < now+ps.paceGap {
+		ps.nextSend = now + ps.paceGap
+	}
+}
+
+// ecnLike is the DCQCN-flavoured marking scheme: multiplicative decrease
+// on marked acks, slow additive recovery — the long end-to-end reaction
+// path that makes classical ECN fragile under bursty incast.
+type ecnLike struct{ base }
+
+// Algorithm names the backend.
+func (c *ecnLike) Algorithm() string { return ECNLike.String() }
+
+// Hooks: switches mark packets crossing deep egress queues.
+func (c *ecnLike) Hooks() Hooks { return Hooks{ECNMarks: true} }
+
+// OnAck cuts on marks and recovers slowly otherwise.
+func (c *ecnLike) OnAck(dst topology.NodeID, bytes int64, marked bool, _, now sim.Time) bool {
+	ps := c.ackSettle(dst, bytes)
+	if marked {
+		// At most one multiplicative cut per ~RTT-scale interval; the
+		// long reaction path is what makes classical ECN fragile under
+		// bursty incast.
+		if now-ps.lastCut > c.p.RecoveryQuiet {
+			ps.lastCut = now
+			ps.signals++
+			c.stats.TotalSignals++
+			ps.window = int64(float64(ps.window) * c.p.EcnCutFactor)
+			if ps.window < c.p.MinWindow {
+				ps.window = c.p.MinWindow
+			}
+		}
+		ps.lastSignal = now
+	} else if now-ps.lastSignal > 4*c.p.RecoveryQuiet {
+		// Slow additive recovery, a fraction of the acked bytes.
+		ps.window += bytes / 8
+		if ps.window > c.p.InitialWindow {
+			ps.window = c.p.InitialWindow
+		}
+	}
+	return true
+}
+
+// OnSignal is ignored (ECN has no direct back-pressure channel).
+func (c *ecnLike) OnSignal(topology.NodeID, float64, sim.Time) {}
+
+// delayBased is the Swift/TIMELY-style controller: the congestion signal
+// is the ack round-trip time itself. RTT above TargetRTT reads as standing
+// queue and cuts the window in proportion to the overshoot; RTT at or
+// below target grows it additively. It needs no switch support at all —
+// not even ECN marking.
+type delayBased struct{ base }
+
+// Algorithm names the backend.
+func (c *delayBased) Algorithm() string { return Delay.String() }
+
+// Hooks: none — the RTT rides the acks the NIC already processes.
+func (c *delayBased) Hooks() Hooks { return Hooks{} }
+
+// OnAck compares the sample against the target RTT.
+func (c *delayBased) OnAck(dst topology.NodeID, bytes int64, _ bool, rtt, now sim.Time) bool {
+	ps := c.ackSettle(dst, bytes)
+	if rtt <= 0 {
+		return true // no sample (e.g. a test driving acks directly)
+	}
+	if rtt > c.p.TargetRTT {
+		// Multiplicative decrease proportional to the overshoot, at most
+		// once per ~RTT-scale interval (a whole window's acks report the
+		// same standing queue).
+		if now-ps.lastCut > c.p.RecoveryQuiet {
+			ps.lastCut = now
+			ps.signals++
+			c.stats.TotalSignals++
+			cut := 1 - c.p.DelayBeta*float64(rtt-c.p.TargetRTT)/float64(rtt)
+			if cut < c.p.DelayMaxCut {
+				cut = c.p.DelayMaxCut
+			}
+			ps.window = int64(float64(ps.window) * cut)
+			if ps.window < c.p.MinWindow {
+				ps.window = c.p.MinWindow
+			}
+		}
+		ps.lastSignal = now
+	} else if now-ps.lastSignal > c.p.RecoveryQuiet {
+		// On-target RTT: additive recovery, a fraction of the acked
+		// bytes per ack.
+		ps.window += bytes / 4
+		if ps.window > c.p.InitialWindow {
+			ps.window = c.p.InitialWindow
+		}
+	}
+	return true
+}
+
+// OnSignal is ignored (the delay signal rides the acks).
+func (c *delayBased) OnSignal(topology.NodeID, float64, sim.Time) {}

@@ -1,5 +1,8 @@
 // Package congestion implements the endpoint congestion-control algorithms
-// compared in the paper (§II-D):
+// compared in the paper (§II-D). Controller is an interface: one instance
+// lives in each NIC and regulates, per destination endpoint, how many
+// bytes may be outstanding and how fast packets may be injected. Four
+// backends ship:
 //
 //   - Slingshot: hardware tracking of every in-flight packet between every
 //     pair of endpoints, with stiff, fast back-pressure applied only to the
@@ -14,16 +17,31 @@
 //     sender), representative of the "fragile, hard to tune" classical
 //     schemes the paper contrasts with (§II-D).
 //
+//   - Delay-based: a Swift/TIMELY-style controller driven purely off the
+//     end-to-end ack round-trip times the NIC already observes — no switch
+//     support needed at all. RTT above target cuts the window in
+//     proportion to the overshoot; RTT at or below target recovers
+//     additively.
+//
 //   - None: no endpoint congestion control, the Aries baseline behaviour.
 //     Sources flood until link-level credits exhaust, forming congestion
 //     trees.
 //
-// One Controller instance lives in each NIC; it regulates, per destination
-// endpoint, how many bytes may be outstanding and how fast packets may be
-// injected.
+// Contracts every implementation must honour:
+//
+//   - Per-pair state: reactions to congestion on one destination must not
+//     throttle traffic to any other destination.
+//   - Liveness: CanSend must admit a packet whenever nothing is
+//     outstanding to that destination, whatever the window — the hardware
+//     paces, it does not halt.
+//   - Determinism: controllers draw no randomness; identical call
+//     sequences produce identical decisions (the simulator replays).
 package congestion
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -35,6 +53,7 @@ const (
 	None Kind = iota
 	Slingshot
 	ECNLike
+	Delay
 )
 
 func (k Kind) String() string {
@@ -45,6 +64,8 @@ func (k Kind) String() string {
 		return "slingshot"
 	case ECNLike:
 		return "ecn"
+	case Delay:
+		return "delay"
 	}
 	return "unknown"
 }
@@ -65,6 +86,15 @@ type Params struct {
 	// EcnCutFactor is the multiplicative decrease applied per marked
 	// round-trip in ECN mode.
 	EcnCutFactor float64
+	// TargetRTT is the delay-based controller's setpoint: ack RTTs above
+	// it read as queueing and cut the window.
+	TargetRTT sim.Time
+	// DelayBeta scales the delay-based multiplicative decrease: the cut
+	// factor is 1 - DelayBeta * (rtt-target)/rtt, floored at DelayMaxCut.
+	DelayBeta float64
+	// DelayMaxCut floors the per-RTT cut factor of the delay-based
+	// controller (0.3 means the window loses at most 70% per cut).
+	DelayMaxCut float64
 }
 
 // DefaultParams returns the calibrated parameters for a kind.
@@ -77,6 +107,11 @@ func DefaultParams(kind Kind) Params {
 		MaxPaceGap:    500 * sim.Microsecond,
 		RecoveryQuiet: 10 * sim.Microsecond,
 		EcnCutFactor:  0.5,
+		// A quiet small-message round trip is ~3 us; 8 us of RTT reads as
+		// several packets of standing queue at 100 Gb/s.
+		TargetRTT:   8 * sim.Microsecond,
+		DelayBeta:   0.8,
+		DelayMaxCut: 0.3,
 	}
 	if kind == None {
 		// Effectively unlimited: an Aries NIC keeps injecting as long as
@@ -86,177 +121,116 @@ func DefaultParams(kind Kind) Params {
 	return p
 }
 
-type pairState struct {
-	window      int64
-	outstanding int64
-	paceGap     sim.Time
-	nextSend    sim.Time
-	lastSignal  sim.Time
-	// ECN: one cut per congestion window / RTT.
-	lastCut sim.Time
-	// Slingshot: one pacing escalation per interval.
-	lastEscalate sim.Time
-	// Stats.
-	signals int64
+// Hooks declares the fabric-side detection an algorithm needs: the switch
+// machinery consults them instead of hard-coding per-kind behaviour.
+type Hooks struct {
+	// EndpointSignals: the switch owning a congested endpoint port
+	// identifies contributing sources and sends them per-pair
+	// back-pressure notifications (Slingshot, §II-D).
+	EndpointSignals bool
+	// ECNMarks: switches mark packets crossing egress queues deeper than
+	// the profile's EcnThreshold; receivers echo the mark on the ack.
+	ECNMarks bool
+}
+
+// Stats counts a controller's visible reactions.
+type Stats struct {
+	// TotalSignals counts congestion reactions (back-pressure
+	// notifications honoured, marked-ack cuts, or delay cuts).
+	TotalSignals int64
+	// TotalBlocks counts injection attempts deferred by window or pacing.
+	TotalBlocks int64
 }
 
 // Controller regulates one NIC's injection, per destination pair.
-type Controller struct {
-	P     Params
-	pairs map[topology.NodeID]*pairState
-	// Stats.
-	TotalSignals int64
-	TotalBlocks  int64
+type Controller interface {
+	// Algorithm names the backend ("none", "slingshot", "ecn", "delay").
+	Algorithm() string
+	// Params returns the tuning the controller runs with.
+	Params() Params
+	// Hooks reports the fabric-side detection this algorithm needs.
+	Hooks() Hooks
+	// CanSend reports whether a packet of the given size may be injected
+	// to dst at time now. When it may not, retryAt is the pacing deadline
+	// to try again, or zero if the sender must simply wait for an
+	// acknowledgement to free window space.
+	CanSend(dst topology.NodeID, bytes int64, now sim.Time) (ok bool, retryAt sim.Time)
+	// OnSend records an injection of bytes to dst.
+	OnSend(dst topology.NodeID, bytes int64, now sim.Time)
+	// OnAck records an end-to-end acknowledgement for bytes delivered to
+	// dst. marked reports ECN marking observed along the path; rtt is the
+	// packet's send-to-ack round-trip time (0 when unknown). It returns
+	// true if the ack unblocked window space (the NIC should retry
+	// pending sends).
+	OnAck(dst topology.NodeID, bytes int64, marked bool, rtt, now sim.Time) bool
+	// OnSignal delivers a direct back-pressure notification from the
+	// fabric for traffic to dst (the switch owning the congested endpoint
+	// port identifies the contributing sources and throttles exactly
+	// those, §II-D). severity in (0,1] scales the response. Algorithms
+	// without that channel ignore it.
+	OnSignal(dst topology.NodeID, severity float64, now sim.Time)
+	// Outstanding returns the in-flight bytes to dst.
+	Outstanding(dst topology.NodeID) int64
+	// Window returns the current window for dst.
+	Window(dst topology.NodeID) int64
+	// PaceGap returns the current pacing delay for dst.
+	PaceGap(dst topology.NodeID) sim.Time
+	// Stats exposes the reaction counters (tests/inspection).
+	Stats() *Stats
 }
 
-// NewController returns a controller with the given parameters.
-func NewController(p Params) *Controller {
+// Builder constructs a fresh Controller. Each NIC gets its own instance,
+// so controllers never share state across endpoints (or across networks
+// built in parallel).
+type Builder func() Controller
+
+// NewController returns a controller of p.Kind with the given parameters
+// (zero params take the kind's defaults).
+func NewController(p Params) Controller {
 	if p.InitialWindow == 0 {
 		p = DefaultParams(p.Kind)
 	}
-	return &Controller{P: p, pairs: make(map[topology.NodeID]*pairState)}
-}
-
-func (c *Controller) pair(dst topology.NodeID) *pairState {
-	ps := c.pairs[dst]
-	if ps == nil {
-		ps = &pairState{window: c.P.InitialWindow, lastSignal: -sim.Forever / 2, lastCut: -sim.Forever / 2}
-		c.pairs[dst] = ps
-	}
-	return ps
-}
-
-// CanSend reports whether a packet of the given size may be injected to
-// dst at time now. When it may not, retryAt is the pacing deadline to try
-// again, or zero if the sender must simply wait for an acknowledgement to
-// free window space.
-func (c *Controller) CanSend(dst topology.NodeID, bytes int64, now sim.Time) (ok bool, retryAt sim.Time) {
-	ps := c.pair(dst)
-	if now < ps.nextSend {
-		c.TotalBlocks++
-		return false, ps.nextSend
-	}
-	// Always allow at least one packet in flight, whatever the window, so
-	// progress is never completely stopped (the hardware paces, it does not
-	// halt).
-	if ps.outstanding > 0 && ps.outstanding+bytes > ps.window {
-		c.TotalBlocks++
-		return false, 0
-	}
-	return true, 0
-}
-
-// OnSend records an injection of bytes to dst.
-func (c *Controller) OnSend(dst topology.NodeID, bytes int64, now sim.Time) {
-	ps := c.pair(dst)
-	ps.outstanding += bytes
-	if ps.paceGap > 0 {
-		ps.nextSend = now + ps.paceGap
-	}
-}
-
-// OnAck records an end-to-end acknowledgement for bytes delivered to dst.
-// marked reports ECN marking observed along the path (ECN mode only).
-// It returns true if the ack unblocked window space (the NIC should retry
-// pending sends).
-func (c *Controller) OnAck(dst topology.NodeID, bytes int64, marked bool, now sim.Time) bool {
-	ps := c.pair(dst)
-	ps.outstanding -= bytes
-	if ps.outstanding < 0 {
-		ps.outstanding = 0
-	}
-	switch c.P.Kind {
-	case None:
-		// No reaction.
+	b := newBase(p)
+	switch p.Kind {
 	case Slingshot:
-		// Quiet period passed: fast additive recovery plus pacing decay.
-		if now-ps.lastSignal > c.P.RecoveryQuiet {
-			ps.window += bytes
-			if ps.window > c.P.InitialWindow {
-				ps.window = c.P.InitialWindow
-			}
-			ps.paceGap /= 2
-			if ps.paceGap < 100*sim.Nanosecond {
-				ps.paceGap = 0
-			}
-		}
+		return &slingshot{base: b}
 	case ECNLike:
-		if marked {
-			// At most one multiplicative cut per ~RTT-scale interval; the
-			// long reaction path is what makes classical ECN fragile under
-			// bursty incast.
-			if now-ps.lastCut > c.P.RecoveryQuiet {
-				ps.lastCut = now
-				ps.signals++
-				c.TotalSignals++
-				ps.window = int64(float64(ps.window) * c.P.EcnCutFactor)
-				if ps.window < c.P.MinWindow {
-					ps.window = c.P.MinWindow
-				}
-			}
-			ps.lastSignal = now
-		} else if now-ps.lastSignal > 4*c.P.RecoveryQuiet {
-			// Slow additive recovery, a fraction of the acked bytes.
-			ps.window += bytes / 8
-			if ps.window > c.P.InitialWindow {
-				ps.window = c.P.InitialWindow
-			}
+		return &ecnLike{base: b}
+	case Delay:
+		return &delayBased{base: b}
+	default:
+		return &noCC{base: b}
+	}
+}
+
+// BuilderFor returns a Builder producing controllers with the given
+// parameters.
+func BuilderFor(p Params) Builder {
+	return func() Controller { return NewController(p) }
+}
+
+// kinds is the single list of selectable algorithms ByName and Names
+// derive from; a new backend is added here (plus Kind.String and
+// NewController's dispatch).
+var kinds = []Kind{None, Slingshot, ECNLike, Delay}
+
+// ByName returns a Builder for an algorithm name with its default
+// parameters.
+func ByName(name string) (Builder, error) {
+	for _, k := range kinds {
+		if k.String() == name {
+			return BuilderFor(DefaultParams(k)), nil
 		}
 	}
-	return true
+	return nil, fmt.Errorf("congestion: unknown algorithm %q (have %v)", name, Names())
 }
 
-// OnSignal delivers a direct back-pressure notification from the fabric for
-// traffic to dst (Slingshot mode: the switch owning the congested endpoint
-// port identifies the contributing sources and throttles exactly those,
-// §II-D). severity in (0,1] scales the response.
-func (c *Controller) OnSignal(dst topology.NodeID, severity float64, now sim.Time) {
-	if c.P.Kind != Slingshot {
-		return
+// Names lists the selectable algorithm names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, k.String())
 	}
-	ps := c.pair(dst)
-	ps.lastSignal = now
-	ps.signals++
-	c.TotalSignals++
-	// Stiff and fast: collapse the window...
-	ps.window = c.P.MinWindow
-	// ...and escalate pacing multiplicatively while signals keep coming.
-	// Escalation is rate-limited (a burst of notifications from one queue
-	// sweep counts once).
-	const escalateEvery = 2 * sim.Microsecond
-	switch {
-	case ps.paceGap == 0:
-		ps.paceGap = sim.Time(float64(2*sim.Microsecond) * severity)
-		if ps.paceGap < 200*sim.Nanosecond {
-			ps.paceGap = 200 * sim.Nanosecond
-		}
-		ps.lastEscalate = now
-	case now-ps.lastEscalate >= escalateEvery:
-		ps.paceGap *= 2
-		ps.lastEscalate = now
-	}
-	if ps.paceGap > c.P.MaxPaceGap {
-		ps.paceGap = c.P.MaxPaceGap
-	}
-	if ps.nextSend < now+ps.paceGap {
-		ps.nextSend = now + ps.paceGap
-	}
-}
-
-// Outstanding returns the in-flight bytes to dst.
-func (c *Controller) Outstanding(dst topology.NodeID) int64 {
-	if ps := c.pairs[dst]; ps != nil {
-		return ps.outstanding
-	}
-	return 0
-}
-
-// Window returns the current window for dst.
-func (c *Controller) Window(dst topology.NodeID) int64 {
-	return c.pair(dst).window
-}
-
-// PaceGap returns the current pacing delay for dst (tests/inspection).
-func (c *Controller) PaceGap(dst topology.NodeID) sim.Time {
-	return c.pair(dst).paceGap
+	sort.Strings(out)
+	return out
 }

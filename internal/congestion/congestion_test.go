@@ -11,8 +11,45 @@ const dst = topology.NodeID(7)
 
 func TestKindString(t *testing.T) {
 	if None.String() != "none" || Slingshot.String() != "slingshot" ||
-		ECNLike.String() != "ecn" || Kind(9).String() != "unknown" {
+		ECNLike.String() != "ecn" || Delay.String() != "delay" ||
+		Kind(9).String() != "unknown" {
 		t.Error("kind strings wrong")
+	}
+}
+
+func TestAlgorithmAndHooks(t *testing.T) {
+	cases := []struct {
+		kind  Kind
+		hooks Hooks
+	}{
+		{None, Hooks{}},
+		{Slingshot, Hooks{EndpointSignals: true}},
+		{ECNLike, Hooks{ECNMarks: true}},
+		{Delay, Hooks{}},
+	}
+	for _, c := range cases {
+		ctrl := NewController(DefaultParams(c.kind))
+		if ctrl.Algorithm() != c.kind.String() {
+			t.Errorf("%v: Algorithm() = %q", c.kind, ctrl.Algorithm())
+		}
+		if ctrl.Hooks() != c.hooks {
+			t.Errorf("%v: Hooks() = %+v, want %+v", c.kind, ctrl.Hooks(), c.hooks)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"none", "slingshot", "ecn", "delay"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if got := b().Algorithm(); got != name {
+			t.Errorf("ByName(%q) builds %q", name, got)
+		}
+	}
+	if _, err := ByName("tcp-reno"); err == nil {
+		t.Error("ByName of unknown algorithm did not error")
 	}
 }
 
@@ -55,7 +92,7 @@ func TestWindowLimits(t *testing.T) {
 		t.Errorf("outstanding = %d, window %d", got, p.InitialWindow)
 	}
 	// Acks free space.
-	c.OnAck(dst, 4096, false, now)
+	c.OnAck(dst, 4096, false, 0, now)
 	if ok, _ := c.CanSend(dst, 4096, now); !ok {
 		t.Error("ack did not free window space")
 	}
@@ -124,14 +161,14 @@ func TestSlingshotRecovery(t *testing.T) {
 	now := sim.Time(0)
 	c.OnSignal(dst, 1, now)
 	// Acks inside the quiet period do not recover.
-	c.OnAck(dst, 4096, false, now+sim.Microsecond)
+	c.OnAck(dst, 4096, false, 0, now+sim.Microsecond)
 	if c.Window(dst) != p.MinWindow {
 		t.Error("recovered during quiet period")
 	}
 	// After the quiet period, acks recover the window and relax pacing.
 	later := now + p.RecoveryQuiet + sim.Microsecond
 	for i := 0; i < 100; i++ {
-		c.OnAck(dst, 4096, false, later+sim.Time(i)*sim.Microsecond)
+		c.OnAck(dst, 4096, false, 0, later+sim.Time(i)*sim.Microsecond)
 	}
 	if c.Window(dst) != p.InitialWindow {
 		t.Errorf("window did not recover: %d", c.Window(dst))
@@ -161,19 +198,19 @@ func TestECNCutOnMarkedAck(t *testing.T) {
 	c := NewController(p)
 	now := sim.Time(0)
 	w0 := c.Window(dst)
-	c.OnAck(dst, 4096, true, now)
+	c.OnAck(dst, 4096, true, 0, now)
 	w1 := c.Window(dst)
 	if w1 != int64(float64(w0)*p.EcnCutFactor) {
 		t.Errorf("window after mark = %d, want %d", w1, int64(float64(w0)*p.EcnCutFactor))
 	}
 	// A second mark immediately after does not double-cut (once per RTT).
-	c.OnAck(dst, 4096, true, now+sim.Microsecond)
+	c.OnAck(dst, 4096, true, 0, now+sim.Microsecond)
 	if c.Window(dst) != w1 {
 		t.Errorf("double cut within RTT: %d", c.Window(dst))
 	}
 	// Cuts bottom out at MinWindow.
 	for i := 0; i < 20; i++ {
-		c.OnAck(dst, 4096, true, now+sim.Time(i+1)*p.RecoveryQuiet*2)
+		c.OnAck(dst, 4096, true, 0, now+sim.Time(i+1)*p.RecoveryQuiet*2)
 	}
 	if c.Window(dst) != p.MinWindow {
 		t.Errorf("window floor = %d, want %d", c.Window(dst), p.MinWindow)
@@ -184,13 +221,13 @@ func TestECNSlowRecovery(t *testing.T) {
 	p := DefaultParams(ECNLike)
 	c := NewController(p)
 	now := sim.Time(0)
-	c.OnAck(dst, 4096, true, now)
+	c.OnAck(dst, 4096, true, 0, now)
 	cut := c.Window(dst)
 	// Recovery is slower than Slingshot's: after the same number of acks
 	// in quiet, ECN regains only a fraction.
 	later := now + 5*p.RecoveryQuiet
 	for i := 0; i < 10; i++ {
-		c.OnAck(dst, 4096, false, later+sim.Time(i)*sim.Microsecond)
+		c.OnAck(dst, 4096, false, 0, later+sim.Time(i)*sim.Microsecond)
 	}
 	if c.Window(dst) <= cut {
 		t.Error("no recovery at all")
@@ -206,9 +243,86 @@ func TestECNSlowRecovery(t *testing.T) {
 	}
 }
 
+func TestDelayCutsOnHighRTT(t *testing.T) {
+	p := DefaultParams(Delay)
+	c := NewController(p)
+	now := sim.Time(0)
+	w0 := c.Window(dst)
+	// RTT at the target: no cut.
+	c.OnAck(dst, 4096, false, p.TargetRTT, now)
+	if c.Window(dst) < w0 {
+		t.Error("on-target RTT cut the window")
+	}
+	// RTT well past the target: proportional multiplicative cut.
+	now += p.RecoveryQuiet + sim.Microsecond
+	rtt := 2 * p.TargetRTT
+	c.OnAck(dst, 4096, false, rtt, now)
+	want := int64(float64(w0) * (1 - p.DelayBeta*float64(rtt-p.TargetRTT)/float64(rtt)))
+	if got := c.Window(dst); got != want {
+		t.Errorf("window after 2x-target RTT = %d, want %d", got, want)
+	}
+	// A second high sample immediately after does not double-cut.
+	w1 := c.Window(dst)
+	c.OnAck(dst, 4096, false, rtt, now+sim.Microsecond)
+	if c.Window(dst) != w1 {
+		t.Error("double cut within the rate-limit interval")
+	}
+	// Extreme RTTs are floored at DelayMaxCut per interval and bottom out
+	// at MinWindow.
+	for i := 0; i < 30; i++ {
+		c.OnAck(dst, 4096, false, 100*p.TargetRTT, now+sim.Time(i+1)*p.RecoveryQuiet*2)
+	}
+	if c.Window(dst) != p.MinWindow {
+		t.Errorf("window floor = %d, want %d", c.Window(dst), p.MinWindow)
+	}
+}
+
+func TestDelayRecoversOnTargetRTT(t *testing.T) {
+	p := DefaultParams(Delay)
+	c := NewController(p)
+	now := sim.Time(0)
+	c.OnAck(dst, 4096, false, 4*p.TargetRTT, now)
+	cut := c.Window(dst)
+	if cut >= p.InitialWindow {
+		t.Fatal("high RTT did not cut")
+	}
+	// On-target samples after the quiet period recover additively.
+	later := now + 2*p.RecoveryQuiet
+	for i := 0; i < 200; i++ {
+		c.OnAck(dst, 4096, false, p.TargetRTT/2, later+sim.Time(i)*sim.Microsecond)
+	}
+	if c.Window(dst) <= cut {
+		t.Error("no recovery from on-target RTTs")
+	}
+	if c.Window(dst) > p.InitialWindow {
+		t.Error("recovery overshot the initial window")
+	}
+	// Zero RTT (no sample) neither cuts nor recovers.
+	w := c.Window(dst)
+	c.OnAck(dst, 4096, false, 0, later+300*sim.Microsecond)
+	if c.Window(dst) != w {
+		t.Error("sampleless ack moved the window")
+	}
+	// Delay ignores direct signals and needs no fabric hooks.
+	c.OnSignal(dst, 1, later)
+	if c.Window(dst) != w {
+		t.Error("delay controller reacted to a direct signal")
+	}
+}
+
+func TestDelayPerPairIsolation(t *testing.T) {
+	p := DefaultParams(Delay)
+	c := NewController(p)
+	other := topology.NodeID(9)
+	c.OnAck(dst, 4096, false, 4*p.TargetRTT, 0)
+	if c.Window(dst) >= c.Window(other) {
+		t.Error("cut leaked to unrelated pair")
+	}
+}
+
 func TestOutstandingNeverNegative(t *testing.T) {
 	c := NewController(DefaultParams(Slingshot))
-	c.OnAck(dst, 4096, false, 0) // ack with nothing outstanding
+	c.OnAck(dst, 4096, false, 0, 0) // ack with nothing outstanding
 	if got := c.Outstanding(dst); got != 0 {
 		t.Errorf("outstanding = %d", got)
 	}
@@ -216,7 +330,21 @@ func TestOutstandingNeverNegative(t *testing.T) {
 
 func TestZeroParamsGetDefaults(t *testing.T) {
 	c := NewController(Params{Kind: Slingshot})
-	if c.P.InitialWindow == 0 || c.P.MinWindow == 0 {
+	if c.Params().InitialWindow == 0 || c.Params().MinWindow == 0 {
 		t.Error("defaults not applied")
+	}
+}
+
+func TestStatsCountBlocksAndSignals(t *testing.T) {
+	c := NewController(DefaultParams(Slingshot))
+	c.OnSignal(dst, 1, 0)
+	if c.Stats().TotalSignals != 1 {
+		t.Errorf("TotalSignals = %d", c.Stats().TotalSignals)
+	}
+	if ok, _ := c.CanSend(dst, 4096, 0); ok {
+		t.Fatal("expected pacing block")
+	}
+	if c.Stats().TotalBlocks != 1 {
+		t.Errorf("TotalBlocks = %d", c.Stats().TotalBlocks)
 	}
 }

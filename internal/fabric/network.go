@@ -8,6 +8,7 @@ import (
 	"repro/internal/phy"
 	"repro/internal/qos"
 	"repro/internal/rosetta"
+	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -34,18 +35,29 @@ type Network struct {
 	switches []*Switch
 	nics     []*NIC
 	msgID    int64
+	// policy is the source-switch routing policy every injected packet's
+	// path comes from (Profile.Routing, defaulting to SlingshotAdaptive or
+	// MinimalOnly per Profile.AdaptiveRouting).
+	policy routing.Policy
+	// wantSignals/wantECN cache the congestion algorithm's fabric-side
+	// hooks (congestion.Hooks), so the per-packet enqueue path reads two
+	// bools instead of dispatching on the controller.
+	wantSignals, wantECN bool
 	// pktFree is a deterministic free-list recycling Packet structs: a
 	// packet is released when it terminates at the destination NIC and
 	// reused for the next injection (the simulator is single-threaded, so
 	// no sync.Pool). Packet pointers must not be retained past the
 	// delivery tap.
 	pktFree []*Packet
-	// minPaths lazily caches Topo.MinimalPaths(src, dst, 4) per switch
-	// pair (index src*Switches+dst). Minimal-path enumeration is
-	// deterministic and RNG-free, so caching cannot perturb replay; it
-	// removes the per-packet path-construction allocations from adaptive
-	// routing. The cached paths are shared and must never be mutated.
-	minPaths [][]topology.Path
+	// minPaths lazily caches Topo.MinimalPaths(src, dst, 4), row by
+	// source switch: minPaths[src][dst]. Rows allocate on the first packet
+	// routed from that source, so a large fabric pays O(sources actually
+	// routing) rather than an O(Switches²) spike on the first packet.
+	// Minimal-path enumeration is deterministic and RNG-free, so caching
+	// cannot perturb replay; it removes the per-packet path-construction
+	// allocations from adaptive routing. The cached paths are shared (they
+	// are handed to every routing decision) and must never be mutated.
+	minPaths [][][]topology.Path
 
 	// Stats.
 	PacketsDelivered int64
@@ -68,11 +80,12 @@ func New(topo topology.Topology, prof Profile, seed uint64) *Network {
 		panic(fmt.Sprintf("fabric: bad QoS config: %v", err))
 	}
 	n := &Network{
-		Topo: topo,
-		Eng:  sim.NewEngine(),
-		Prof: prof,
-		QoS:  qcfg,
-		rng:  sim.NewRNG(seed),
+		Topo:   topo,
+		Eng:    sim.NewEngine(),
+		Prof:   prof,
+		QoS:    qcfg,
+		rng:    sim.NewRNG(seed),
+		policy: prof.routingBuilder()(),
 	}
 	n.build()
 	return n
@@ -105,13 +118,23 @@ func (n *Network) build() {
 			firstNode: int(first),
 		}
 	}
+	newCC := prof.CCBuilder
+	if newCC == nil {
+		newCC = congestion.BuilderFor(prof.CC)
+	}
 	n.nics = make([]*NIC, topo.Nodes())
 	for i := range n.nics {
 		n.nics[i] = &NIC{
 			net: n,
 			ID:  topology.NodeID(i),
-			cc:  congestion.NewController(prof.CC),
+			cc:  newCC(),
 		}
+	}
+	if len(n.nics) > 0 {
+		// Every NIC runs the same algorithm; cache its fabric-side hooks
+		// for the per-packet enqueue path.
+		h := n.nics[0].cc.Hooks()
+		n.wantSignals, n.wantECN = h.EndpointSignals, h.ECNMarks
 	}
 
 	newSched := func() *qos.PortScheduler {
@@ -244,99 +267,89 @@ func (n *Network) Send(src, dst topology.NodeID, bytes int64, opts SendOpts) *Me
 func (n *Network) NIC(id topology.NodeID) *NIC { return n.nics[id] }
 
 // CC returns a node's congestion controller (tests/inspection).
-func (n *Network) CC(id topology.NodeID) *congestion.Controller { return n.nics[id].cc }
+func (n *Network) CC(id topology.NodeID) congestion.Controller { return n.nics[id].cc }
 
-// choosePath implements §II-C adaptive routing at the source switch: score
-// up to four minimal plus non-minimal candidate paths by the total depth of
-// the request queues along them, biased towards minimal paths, and pick the
-// cheapest.
+// RoutingPolicy returns the routing policy this network dispatches through
+// (tests/inspection).
+func (n *Network) RoutingPolicy() routing.Policy { return n.policy }
+
+// choosePath runs the source-switch routing decision for a packet (§II-C:
+// the source switch estimates the load of candidate paths). The policy
+// does the choosing; the fabric supplies the cached minimal candidates,
+// the queue-depth view, and the source switch's RNG stream.
 func (n *Network) choosePath(s *Switch, p *Packet) topology.Path {
+	return n.route(s, p.Msg.Src, p.Msg.Dst, p.Msg.ID, p.Class)
+}
+
+// ChoosePath runs one routing decision for a flow from src to dst in the
+// given class, exactly as injecting a packet would (bench/test hook). It
+// consults the same policy, minimal-path cache and live load state as the
+// hot path, and draws from the source switch's RNG stream — interleaving
+// it with live traffic therefore perturbs replay.
+func (n *Network) ChoosePath(src, dst topology.NodeID, flowID int64, class int) topology.Path {
+	if class < 0 || class >= len(n.QoS.Classes) {
+		class = 0
+	}
+	return n.route(n.switches[n.Topo.SwitchOf(src)], src, dst, flowID, class)
+}
+
+// route dispatches one routing decision through the configured policy.
+func (n *Network) route(s *Switch, srcNode, dstNode topology.NodeID, flowID int64, class int) topology.Path {
 	src := s.ID
-	dst := n.Topo.SwitchOf(p.Msg.Dst)
+	dst := n.Topo.SwitchOf(dstNode)
 	if src == dst {
 		return topology.Path{src}
 	}
-	minPaths := n.minimalPaths(src, dst)
-	if !n.Prof.AdaptiveRouting {
-		return minPaths[0]
-	}
-	cands := minPaths
-	nmax := 4 - len(minPaths)
-	if nmax < 2 {
-		nmax = 2
-	}
-	nonMin := n.Topo.NonMinimalPaths(src, dst, s.rng, nmax)
-
 	bias := n.Prof.MinimalBias
 	if bias < 1 {
 		bias = 1
 	}
-	if cb := n.QoS.Classes[p.Class].MinimalBias; cb > 1 {
+	if cb := n.QoS.Classes[class].MinimalBias; cb > 1 {
 		bias *= cb
 	}
-
-	noise := func() float64 {
-		if n.Prof.RouteNoise <= 0 {
-			return 1
-		}
-		return 1 + n.Prof.RouteNoise*s.rng.Float64()
-	}
-	best := cands[0]
-	bestCost := n.pathCost(cands[0], noise())
-	for _, c := range cands[1:] {
-		if cost := n.pathCost(c, noise()); cost < bestCost {
-			best, bestCost = c, cost
-		}
-	}
-	fromArena := false
-	for _, c := range nonMin {
-		if cost := n.pathCost(c, bias*noise()); cost < bestCost {
-			best, bestCost, fromArena = c, cost, true
-		}
-	}
-	if fromArena {
-		// Non-minimal candidates live in the topology's reusable
-		// path-construction arena and are overwritten by the next routing
-		// decision; the packet keeps this path for its whole flight.
-		best = append(topology.Path(nil), best...)
-	}
-	return best
+	return n.policy.Choose(n.Topo, routing.Context{
+		Src: src, Dst: dst,
+		SrcNode: srcNode, DstNode: dstNode,
+		FlowID: flowID, Class: class,
+		MinimalBias: bias,
+		RouteNoise:  n.Prof.RouteNoise,
+	}, n.minimalPaths(src, dst), n, s.rng)
 }
 
 // minimalPaths returns the cached minimal-path candidates between two
-// distinct switches, computing them on first use.
+// distinct switches, computing them on first use. Rows are per source
+// switch and lazily allocated.
 func (n *Network) minimalPaths(src, dst topology.SwitchID) []topology.Path {
 	if n.minPaths == nil {
-		n.minPaths = make([][]topology.Path, n.Topo.Switches()*n.Topo.Switches())
+		n.minPaths = make([][][]topology.Path, n.Topo.Switches())
 	}
-	key := int(src)*n.Topo.Switches() + int(dst)
-	ps := n.minPaths[key]
+	row := n.minPaths[src]
+	if row == nil {
+		row = make([][]topology.Path, n.Topo.Switches())
+		n.minPaths[src] = row
+	}
+	ps := row[dst]
 	if ps == nil {
 		ps = n.Topo.MinimalPaths(src, dst, 4)
-		n.minPaths[key] = ps
+		row[dst] = ps
 	}
 	return ps
 }
 
-// pathCost estimates a path's congestion: the queued bytes on each egress
-// port along it (the local one is exact; remote ones arrive via the credit
-// and ack piggyback channels of §II-C) plus a per-hop serialization charge,
-// multiplied by the non-minimal penalty factor.
-func (n *Network) pathCost(path topology.Path, penalty float64) float64 {
-	const hopCharge = 4096 // one packet's worth per hop
-	cost := 0.0
-	for i := 0; i+1 < len(path); i++ {
-		sw := n.switches[path[i]]
-		ports := sw.portsTo(path[i+1])
-		least := ports[0].queuedBytes()
-		for _, o := range ports[1:] {
-			if q := o.queuedBytes(); q < least {
-				least = q
-			}
+// QueuedTo implements routing.LoadReader: the queued bytes on the
+// least-loaded (parallel) egress port from switch a towards the adjacent
+// switch b — the request-queue depth §II-C scores paths by. The local
+// switch's figure is exact; remote ones arrive via the credit and ack
+// piggyback channels.
+func (n *Network) QueuedTo(a, b topology.SwitchID) int64 {
+	ports := n.switches[a].portsTo(b)
+	least := ports[0].queuedBytes()
+	for _, o := range ports[1:] {
+		if q := o.queuedBytes(); q < least {
+			least = q
 		}
-		cost += float64(least) + hopCharge
 	}
-	return cost * penalty
+	return least
 }
 
 // revLatency approximates the reverse-path delay of acknowledgements,

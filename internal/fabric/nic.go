@@ -12,7 +12,7 @@ import (
 type NIC struct {
 	net *Network
 	ID  topology.NodeID
-	cc  *congestion.Controller
+	cc  congestion.Controller
 	inj *outPort
 
 	// Per-destination send state, slice-indexed by destination node ID so
@@ -103,14 +103,15 @@ func (h *nicGrantCTS) OnEvent(_ *sim.Engine, ev *sim.Event) {
 }
 
 // nicAck (source-side) lands one end-to-end ack for the message in Data.
-// Arg packs the acked buffer bytes (<<1) with the ECN mark in bit 0.
+// Arg packs the acked buffer bytes (<<1) with the ECN mark in bit 0; the
+// RTT sample rides the message's ackRTT word (set at delivery).
 type nicAck NIC
 
 func (h *nicAck) OnEvent(e *sim.Engine, ev *sim.Event) {
 	src := (*NIC)(h)
 	m := ev.Data.(*Message)
 	now := e.Now()
-	src.cc.OnAck(m.Dst, ev.Arg>>1, ev.Arg&1 != 0, now)
+	src.cc.OnAck(m.Dst, ev.Arg>>1, ev.Arg&1 != 0, m.ackRTT, now)
 	m.acked++
 	if m.acked >= m.numPackets && m.OnAcked != nil {
 		m.OnAcked(now)
@@ -330,12 +331,15 @@ func (n *NIC) removeOrder(dst topology.NodeID) {
 
 // retransmit re-injects a packet whose frame was lost in the fabric (the
 // end-to-end retry of §II-F). The packet restarts from the source switch
-// with a fresh route.
+// with a fresh route and a fresh RTT stamp — Karn's rule: the original
+// flight's retry timeout must not read as path congestion, so the ack's
+// RTT sample measures the retransmission's own flight only.
 func (n *NIC) retransmit(p *Packet) {
 	p.Path = nil
 	p.hop = 0
 	p.inPort = nil
 	p.ecnMarked = false
+	p.sentAt = n.net.Eng.Now()
 	n.inj.sched.Enqueue(p.Class, int(bufBytes(p)), p)
 	n.inj.pump()
 }
@@ -377,12 +381,17 @@ func (n *NIC) deliver(p *Packet) {
 	// End-to-end acknowledgement back to the source (§II-A: End-to-End
 	// Acks crossbar; they track outstanding packets between every pair of
 	// endpoints). The ack's size and ECN mark pack into the event's Arg
-	// word because the packet struct is recycled right below.
+	// word because the packet struct is recycled right below; the RTT
+	// sample — injection to ack arrival, the signal delay-based CC feeds
+	// on — rides the message (overlapping deliveries overwrite it with a
+	// fresher sample, which is fine for a rate controller).
 	src := n.net.nics[m.Src]
 	arg := bufBytes(p) << 1
 	if p.ecnMarked {
 		arg |= 1
 	}
-	n.net.Eng.After(n.net.revLatency(p.Path), (*nicAck)(src), arg, m)
+	rev := n.net.revLatency(p.Path)
+	m.ackRTT = now + rev - p.sentAt
+	n.net.Eng.After(rev, (*nicAck)(src), arg, m)
 	n.net.freePacket(p)
 }

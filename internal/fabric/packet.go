@@ -58,6 +58,10 @@ type Message struct {
 	acked     int
 	seen0     uint64
 	seen      []uint64
+	// ackRTT is the latest packet's injection-to-ack round-trip sample,
+	// set when the delivery schedules the ack and consumed by the source
+	// NIC's congestion controller (delay-based CC, §II-D).
+	ackRTT sim.Time
 
 	SubmittedAt sim.Time
 	DeliveredAt sim.Time

@@ -23,6 +23,7 @@ import (
 	"repro/internal/ethernet"
 	"repro/internal/qos"
 	"repro/internal/rosetta"
+	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -52,9 +53,20 @@ type Profile struct {
 
 	// CC selects and tunes the endpoint congestion control.
 	CC congestion.Params
+	// CCBuilder, when set, constructs each NIC's congestion controller
+	// and overrides CC (nil keeps congestion.NewController(CC), the
+	// historical behaviour). The fabric reads the built controller's
+	// Hooks to decide whether switches emit endpoint back-pressure
+	// and/or mark ECN.
+	CCBuilder congestion.Builder
 
+	// Routing, when set, constructs the network's source-switch routing
+	// policy. nil keeps the historical behaviour: SlingshotAdaptive when
+	// AdaptiveRouting is set, MinimalOnly otherwise.
+	Routing routing.Builder
 	// AdaptiveRouting enables source-switch adaptive path selection;
-	// when false, packets take the first minimal path.
+	// when false, packets take the first minimal path. Only consulted
+	// when Routing is nil.
 	AdaptiveRouting bool
 	// MinimalBias > 1 biases path costs towards minimal paths (§II-C).
 	MinimalBias float64
@@ -195,6 +207,18 @@ func ECNProfile() Profile {
 	p.Name = "slingshot-ecn"
 	p.CC = congestion.DefaultParams(congestion.ECNLike)
 	return p
+}
+
+// routingBuilder resolves the profile's routing-policy constructor:
+// Profile.Routing, else the AdaptiveRouting bool's historical mapping.
+func (p *Profile) routingBuilder() routing.Builder {
+	if p.Routing != nil {
+		return p.Routing
+	}
+	if p.AdaptiveRouting {
+		return routing.NewSlingshotAdaptive
+	}
+	return routing.NewMinimalOnly
 }
 
 func (p *Profile) cell() int {

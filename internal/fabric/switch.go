@@ -1,7 +1,6 @@
 package fabric
 
 import (
-	"repro/internal/congestion"
 	"repro/internal/rosetta"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -110,23 +109,19 @@ func (s *Switch) bestPortTo(next topology.SwitchID) *outPort {
 }
 
 // enqueue places the packet in the egress scheduler and runs the
-// congestion-detection hooks.
+// congestion-detection hooks the configured CC algorithm asked for
+// (congestion.Hooks, cached on the network at build time).
 func (s *Switch) enqueue(o *outPort, p *Packet) {
 	o.sched.Enqueue(p.Class, int(bufBytes(p)), p)
 
 	prof := &s.net.Prof
-	switch prof.CC.Kind {
-	case congestion.Slingshot:
-		if o.edge && !p.ctrl {
-			q := o.queuedBytes()
-			if q > prof.EndpointThreshold {
-				s.signalSource(p, q)
-			}
+	if s.net.wantSignals && o.edge && !p.ctrl {
+		if q := o.queuedBytes(); q > prof.EndpointThreshold {
+			s.signalSource(p, q)
 		}
-	case congestion.ECNLike:
-		if o.queuedBytes() > prof.EcnThreshold {
-			p.ecnMarked = true
-		}
+	}
+	if s.net.wantECN && o.queuedBytes() > prof.EcnThreshold {
+		p.ecnMarked = true
 	}
 	o.pump()
 }

@@ -3,6 +3,7 @@ package fabric
 import (
 	"testing"
 
+	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -127,6 +128,135 @@ func TestBackendsPacketPathsValid(t *testing.T) {
 				t.Errorf("%d packets took invalid paths", bad)
 			}
 		})
+	}
+}
+
+// TestBackendsAdaptiveRoutingSpreadsLoad ports the Dragonfly
+// spreads-load property to the fat-tree and HyperX backends: with
+// adaptive routing, simultaneous flows whose first-choice minimal paths
+// collide divert to alternates, so total completion should not lose to
+// minimal-only routing.
+func TestBackendsAdaptiveRoutingSpreadsLoad(t *testing.T) {
+	cases := map[string]struct {
+		topo func() topology.Topology
+		// flows returns colliding (src, dst) node pairs whose first-choice
+		// minimal paths oversubscribe a shared fabric link.
+		flows func(topo topology.Topology) [][2]topology.NodeID
+	}{
+		"fattree": {
+			// Every cross-pod pair's first minimal path climbs the same
+			// (agg 0, core 0) plane.
+			topo: func() topology.Topology { return backendTopos()["fattree"] },
+			flows: func(topo topology.Topology) [][2]topology.NodeID {
+				var out [][2]topology.NodeID
+				half := topo.Nodes() / 2 // pod 0 nodes, then pod 1 nodes
+				for i := 0; i < half; i++ {
+					out = append(out, [2]topology.NodeID{
+						topology.NodeID(i), topology.NodeID(half + i)})
+				}
+				return out
+			},
+		},
+		"hyperx": {
+			// 3x3 with 4 nodes per switch: four 100G flows from row-0
+			// switches 1 and 2 converge on the dim-0-first DOR link 0->6,
+			// and four more from switches 0 and 1 on 2->8 — each 2x the
+			// 200G fabric link. Every pair spans both dimensions, so a
+			// second minimal path (dim-1 first) and Valiant detours exist
+			// for adaptive routing to shift load onto.
+			topo: func() topology.Topology {
+				return topology.MustBuild(topology.HyperXConfig{
+					Dims: []int{3, 3}, NodesPerSwitch: 4,
+				})
+			},
+			flows: func(topo topology.Topology) [][2]topology.NodeID {
+				var out [][2]topology.NodeID
+				add := func(srcSw, dstSw topology.SwitchID, k int) {
+					src, _ := topo.SwitchNodes(srcSw)
+					dst, _ := topo.SwitchNodes(dstSw)
+					out = append(out, [2]topology.NodeID{
+						src + topology.NodeID(k), dst + topology.NodeID(k)})
+				}
+				for k := 0; k < 2; k++ {
+					add(1, 6, k)   // (1,0)->(0,2): dim-0 first via 0
+					add(2, 6, 2+k) // (2,0)->(0,2): dim-0 first via 0
+					add(0, 8, k)   // (0,0)->(2,2): dim-0 first via 2
+					add(1, 8, 2+k) // (1,0)->(2,2): dim-0 first via 2
+				}
+				return out
+			},
+		},
+	}
+	for kind, c := range cases {
+		t.Run(kind, func(t *testing.T) {
+			run := func(adaptive bool) sim.Time {
+				topo := c.topo()
+				prof := backendProfile(kind)
+				prof.AdaptiveRouting = adaptive
+				n := New(topo, prof, 3)
+				done, total := 0, 0
+				for _, f := range c.flows(topo) {
+					total++
+					n.Send(f[0], f[1], 256*1024, SendOpts{
+						OnDelivered: func(sim.Time) { done++ }})
+				}
+				n.Eng.RunWhile(func() bool { return done < total })
+				return n.Now()
+			}
+			adaptive := run(true)
+			static := run(false)
+			if adaptive > static {
+				t.Errorf("adaptive (%v) slower than minimal-only (%v)", adaptive, static)
+			}
+		})
+	}
+}
+
+// TestECMPPathsDeterministicAndInterleavingFree: the ECMP policy's choice
+// is a pure function of the flow identity — the same seed yields the same
+// per-flow path whatever order decisions are made in (the property that
+// makes grid results independent of -jobs), and distinct flows spread
+// over the equal-cost candidates.
+func TestECMPPathsDeterministicAndInterleavingFree(t *testing.T) {
+	build := func() *Network {
+		topo := topology.MustBuild(topology.FatTreeConfig{
+			Pods: 2, EdgePerPod: 2, AggPerPod: 2, CorePerAgg: 2, NodesPerEdge: 4,
+		})
+		prof := backendProfile("fattree")
+		prof.Routing = routing.NewECMPHash
+		return New(topo, prof, 9)
+	}
+	const flows = 64
+	pathsOf := func(n *Network, reversed bool) [][]topology.SwitchID {
+		out := make([][]topology.SwitchID, flows)
+		for i := 0; i < flows; i++ {
+			f := i
+			if reversed {
+				f = flows - 1 - i
+			}
+			p := n.ChoosePath(0, topology.NodeID(n.Topo.Nodes()-1), int64(f), 0)
+			out[f] = append([]topology.SwitchID(nil), p...)
+		}
+		return out
+	}
+	a := pathsOf(build(), false)
+	b := pathsOf(build(), true)
+	distinct := map[string]bool{}
+	for f := 0; f < flows; f++ {
+		if len(a[f]) != len(b[f]) {
+			t.Fatalf("flow %d: path depends on decision order", f)
+		}
+		key := ""
+		for i := range a[f] {
+			if a[f][i] != b[f][i] {
+				t.Fatalf("flow %d: path depends on decision order (%v vs %v)", f, a[f], b[f])
+			}
+			key += string(rune(a[f][i])) + "."
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("%d flows hashed onto %d path(s); ECMP does not spread", flows, len(distinct))
 	}
 }
 

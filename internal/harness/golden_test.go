@@ -23,8 +23,10 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite the golden run fil
 // goldenCases cover the simulator's behavioural surface cheaply: switch
 // jitter (fig2), fabric latency/bandwidth + rendezvous + boxplots (fig4),
 // global-link bisection with adaptive routing (fig6), congestion control
-// under aggressors (fig8, fig12), QoS traffic classes (fig13), and the
-// fat-tree + HyperX backends behind the Topology interface (topo-compare).
+// under aggressors (fig8, fig12), QoS traffic classes (fig13), the
+// fat-tree + HyperX backends behind the Topology interface (topo-compare),
+// and the routing x CC policy layers (policy-compare — all four routing
+// policies and all three default CC backends on every topology).
 var goldenCases = []struct {
 	name string
 	opt  Options
@@ -36,6 +38,7 @@ var goldenCases = []struct {
 	{"fig12", Options{Nodes: 24, MinIters: 2, MaxIters: 3, Seed: 7}},
 	{"fig13", Options{Nodes: 24, Seed: 7}},
 	{"topo-compare", Options{Nodes: 24, MinIters: 1, MaxIters: 2, Seed: 7}},
+	{"policy-compare", Options{Nodes: 24, MinIters: 1, MaxIters: 2, Seed: 7}},
 }
 
 func TestGoldenRunJSON(t *testing.T) {

@@ -38,9 +38,15 @@ type Options struct {
 	Victims VictimSet
 	// Panel selects the Fig. 10 panel: "A", "B", or "C" (default "A").
 	Panel string
-	// Topo restricts topo-compare to one backend
+	// Topo restricts topo-compare and policy-compare to one backend
 	// ("dragonfly"|"fattree"|"hyperx"; "" runs all three).
 	Topo string
+	// Routing restricts policy-compare to one routing policy
+	// (routing.Names(); "" sweeps all four).
+	Routing string
+	// CC restricts policy-compare to one congestion-control backend
+	// (congestion.Names(); "" sweeps slingshot, ecn and delay).
+	CC string
 }
 
 // withDefaults fills zero fields from an experiment's default options

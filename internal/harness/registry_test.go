@@ -15,7 +15,7 @@ import (
 var paperExperiments = []string{
 	"fig2", "fig4", "fig5", "fig6", "fig8",
 	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-	"topo-compare",
+	"policy-compare", "topo-compare",
 }
 
 func TestRegistryComplete(t *testing.T) {
@@ -47,18 +47,19 @@ func TestRegistryComplete(t *testing.T) {
 // registry round-trips in seconds.
 func tinyOptions() map[string]Options {
 	return map[string]Options{
-		"fig2":         {Nodes: 16, MaxIters: 50, Seed: 7},
-		"fig4":         {Nodes: 16, MaxIters: 3, Seed: 7},
-		"fig5":         {Nodes: 16, MaxIters: 2, Seed: 7},
-		"fig6":         {Nodes: 32, Seed: 7},
-		"fig8":         {Nodes: 32, MaxIters: 5, Seed: 7},
-		"fig9":         {Nodes: 24, MinIters: 1, MaxIters: 2, Victims: VictimsApps, Seed: 7},
-		"fig10":        {Nodes: 16, MinIters: 1, MaxIters: 2, Victims: VictimsApps, Seed: 7},
-		"fig11":        {Nodes: 24, MinIters: 1, MaxIters: 2, Seed: 7},
-		"fig12":        {Nodes: 16, MinIters: 1, MaxIters: 2, Seed: 7},
-		"fig13":        {Nodes: 16, Seed: 7},
-		"fig14":        {Nodes: 16, Seed: 7},
-		"topo-compare": {Nodes: 16, MinIters: 1, MaxIters: 2, Seed: 7},
+		"fig2":           {Nodes: 16, MaxIters: 50, Seed: 7},
+		"fig4":           {Nodes: 16, MaxIters: 3, Seed: 7},
+		"fig5":           {Nodes: 16, MaxIters: 2, Seed: 7},
+		"fig6":           {Nodes: 32, Seed: 7},
+		"fig8":           {Nodes: 32, MaxIters: 5, Seed: 7},
+		"fig9":           {Nodes: 24, MinIters: 1, MaxIters: 2, Victims: VictimsApps, Seed: 7},
+		"fig10":          {Nodes: 16, MinIters: 1, MaxIters: 2, Victims: VictimsApps, Seed: 7},
+		"fig11":          {Nodes: 24, MinIters: 1, MaxIters: 2, Seed: 7},
+		"fig12":          {Nodes: 16, MinIters: 1, MaxIters: 2, Seed: 7},
+		"fig13":          {Nodes: 16, Seed: 7},
+		"fig14":          {Nodes: 16, Seed: 7},
+		"topo-compare":   {Nodes: 16, MinIters: 1, MaxIters: 2, Seed: 7},
+		"policy-compare": {Nodes: 16, MinIters: 1, MaxIters: 1, Seed: 7},
 	}
 }
 
