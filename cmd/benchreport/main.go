@@ -10,7 +10,8 @@
 //	go run ./cmd/benchreport -baseline BENCH_hotpath.json -out BENCH_new.json
 //
 // Each row reports ns, allocations and bytes per unit (packet / cell),
-// and the meta block stamps the git revision and Go toolchain, so
+// and the meta block stamps the git revision, Go toolchain, and whether
+// the simlint source-level invariant gate held (simlint_clean), so
 // successive baselines are directly comparable and attributable. CI runs
 // the compare mode against the committed baseline on every push, failing
 // the build on a regression instead of silently uploading an artifact.
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/lint"
 	"repro/internal/results"
 )
 
@@ -58,6 +60,7 @@ func main() {
 	res.Meta.Desc = "hot-path perf baseline (ns/allocs/bytes per unit of work)"
 	res.Meta.Rev = gitRev()
 	res.Meta.GoVersion = runtime.Version()
+	res.Meta.SimlintClean = simlintClean(os.Stderr)
 	t := res.AddTable("benchmarks", "benchmark", "unit", "iters", "ns/unit", "allocs/unit", "B/unit")
 	start := time.Now()
 	for _, bm := range bench.Suite() {
@@ -197,6 +200,30 @@ func delta(old, cur float64) float64 {
 		return 0
 	}
 	return (cur - old) / old
+}
+
+// simlintClean runs the full simlint suite over the module and reports
+// whether the source-level invariant gate held, so the perf baseline
+// records the fact alongside the measured allocs. A load failure (no go
+// tool, not in a checkout) stamps false with a note rather than hiding
+// the field: a baseline that could not be checked should not claim
+// cleanliness.
+func simlintClean(w io.Writer) *bool {
+	fmt.Fprintln(w, "benchreport: running simlint over ./...")
+	clean := false
+	diags, err := lint.Check(".", "./...")
+	switch {
+	case err != nil:
+		fmt.Fprintf(w, "benchreport: simlint check failed (stamping simlint_clean=false): %v\n", err)
+	case len(diags) > 0:
+		fmt.Fprintf(w, "benchreport: simlint found %d violation(s) (stamping simlint_clean=false)\n", len(diags))
+		for _, d := range diags {
+			fmt.Fprintf(w, "  %s\n", d)
+		}
+	default:
+		clean = true
+	}
+	return &clean
 }
 
 // gitRev resolves the producing revision: the working tree's HEAD when

@@ -1,0 +1,65 @@
+// Command simlint runs the simulator's custom invariant analyzers (see
+// internal/lint): nondeterministic map iteration, wall-clock/global-RNG
+// use, hot-path allocations, free-list contract violations, and the
+// alloc-per-event scheduling shims.
+//
+// It runs two ways:
+//
+//	go run ./cmd/simlint ./...            # standalone, from the module root
+//	go build -o simlint ./cmd/simlint
+//	go vet -vettool=$PWD/simlint ./...    # as a go vet tool (cached, parallel)
+//
+// Standalone flags: -only a,b limits the analyzers; -list prints them.
+// Exit status: 0 clean, 1 diagnostics found, 2 tool failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// The go command drives vet tools with a fixed protocol (-flags,
+	// -V=full, then one vet.cfg per package); humans pass patterns.
+	if lint.IsVetInvocation(os.Args[1:]) {
+		os.Exit(lint.VetTool(os.Args[1:], os.Stdout, os.Stderr))
+	}
+
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	dir := flag.String("C", ".", "directory to run go list from (the module root)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	exit := 0
+	for _, p := range pkgs {
+		for _, d := range lint.RunAnalyzers(analyzers, p.Fset, p.Files, p.Types, p.Info) {
+			fmt.Println(d)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -68,6 +68,7 @@ const (
 // nicPump re-pumps the injection queues (pacing/host-gap wakeups).
 type nicPump NIC
 
+//simlint:hotpath
 func (h *nicPump) OnEvent(_ *sim.Engine, _ *sim.Event) {
 	n := (*NIC)(h)
 	n.pumpEv = nil
@@ -77,6 +78,7 @@ func (h *nicPump) OnEvent(_ *sim.Engine, _ *sim.Event) {
 // msgSelfDeliver completes a loopback self-send.
 type msgSelfDeliver Message
 
+//simlint:hotpath
 func (h *msgSelfDeliver) OnEvent(e *sim.Engine, _ *sim.Event) {
 	m := (*Message)(h)
 	at := e.Now()
@@ -95,6 +97,7 @@ func (h *msgSelfDeliver) OnEvent(e *sim.Engine, _ *sim.Event) {
 // message in Data: the receive buffer is ready, so the source may stream.
 type nicGrantCTS NIC
 
+//simlint:hotpath
 func (h *nicGrantCTS) OnEvent(_ *sim.Engine, ev *sim.Event) {
 	n := (*NIC)(h)
 	m := ev.Data.(*Message)
@@ -107,6 +110,7 @@ func (h *nicGrantCTS) OnEvent(_ *sim.Engine, ev *sim.Event) {
 // RTT sample rides the message's ackRTT word (set at delivery).
 type nicAck NIC
 
+//simlint:hotpath
 func (h *nicAck) OnEvent(e *sim.Engine, ev *sim.Event) {
 	src := (*NIC)(h)
 	m := ev.Data.(*Message)
@@ -122,6 +126,7 @@ func (h *nicAck) OnEvent(e *sim.Engine, ev *sim.Event) {
 // nicRetransmit re-injects the lost packet in Data (end-to-end retry).
 type nicRetransmit NIC
 
+//simlint:hotpath
 func (h *nicRetransmit) OnEvent(_ *sim.Engine, ev *sim.Event) {
 	(*NIC)(h).retransmit(ev.Data.(*Packet))
 }
@@ -129,6 +134,7 @@ func (h *nicRetransmit) OnEvent(_ *sim.Engine, ev *sim.Event) {
 // nicDeliver terminates the arriving packet in Data at this NIC.
 type nicDeliver NIC
 
+//simlint:hotpath
 func (h *nicDeliver) OnEvent(_ *sim.Engine, ev *sim.Event) {
 	(*NIC)(h).deliver(ev.Data.(*Packet))
 }
@@ -139,6 +145,7 @@ func (h *nicDeliver) OnEvent(_ *sim.Engine, ev *sim.Event) {
 // emitting switch would have.
 type nicSignal NIC
 
+//simlint:hotpath
 func (h *nicSignal) OnEvent(e *sim.Engine, ev *sim.Event) {
 	n := (*NIC)(h)
 	m := ev.Data.(*Message)

@@ -68,6 +68,7 @@ const watchdogDelay = 500 * sim.Microsecond
 // portRetryPump re-pumps the port at a QoS cap-retry deadline.
 type portRetryPump outPort
 
+//simlint:hotpath
 func (h *portRetryPump) OnEvent(_ *sim.Engine, _ *sim.Event) {
 	o := (*outPort)(h)
 	o.retryEv = nil
@@ -78,6 +79,7 @@ func (h *portRetryPump) OnEvent(_ *sim.Engine, _ *sim.Event) {
 // (a packet departed the downstream element) and re-pumps it.
 type portCreditReturn outPort
 
+//simlint:hotpath
 func (h *portCreditReturn) OnEvent(_ *sim.Engine, ev *sim.Event) {
 	o := (*outPort)(h)
 	o.credits += ev.Arg
@@ -87,6 +89,7 @@ func (h *portCreditReturn) OnEvent(_ *sim.Engine, ev *sim.Event) {
 // portTxDone ends a transmission: the wire is free for the next packet.
 type portTxDone outPort
 
+//simlint:hotpath
 func (h *portTxDone) OnEvent(_ *sim.Engine, _ *sim.Event) {
 	o := (*outPort)(h)
 	o.busy = false
@@ -100,6 +103,7 @@ func (h *portTxDone) OnEvent(_ *sim.Engine, _ *sim.Event) {
 // interval.
 type portWatchdog outPort
 
+//simlint:hotpath
 func (h *portWatchdog) OnEvent(_ *sim.Engine, _ *sim.Event) {
 	o := (*outPort)(h)
 	o.watchdogEv = nil

@@ -50,6 +50,7 @@ func (s *Switch) edgePort(n topology.NodeID) *outPort {
 // switchArrive receives the packet in Data from an upstream link.
 type switchArrive Switch
 
+//simlint:hotpath
 func (h *switchArrive) OnEvent(_ *sim.Engine, ev *sim.Event) {
 	(*Switch)(h).arrive(ev.Data.(*Packet))
 }
@@ -57,6 +58,7 @@ func (h *switchArrive) OnEvent(_ *sim.Engine, ev *sim.Event) {
 // switchForward routes the packet in Data after the traversal latency.
 type switchForward Switch
 
+//simlint:hotpath
 func (h *switchForward) OnEvent(_ *sim.Engine, ev *sim.Event) {
 	(*Switch)(h).forward(ev.Data.(*Packet))
 }

@@ -1,0 +1,47 @@
+package harness
+
+import "time"
+
+// Clock abstracts the host wall clock the registry wrapper stamps run
+// durations with. Wall time is deliberately the only nondeterministic
+// quantity in a Result, and this seam confines it: the default clock
+// reads the host, tests install FixedClock so Result meta — wall_ns
+// included — is byte-for-byte reproducible and the golden files can pin
+// it.
+type Clock interface {
+	// Now returns the current wall-clock instant.
+	Now() time.Time
+}
+
+// systemClock is the default Clock: the host's real clock.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time {
+	return time.Now() //simlint:wallclock -- the injectable Clock seam: run-duration metadata is the only place host time may enter library code
+}
+
+// wallClock is the clock the registry wrapper reads. Swapped only via
+// SetClock; the harness runs experiments from a single goroutine per
+// process setup phase, so a plain variable suffices.
+var wallClock Clock = systemClock{}
+
+// SetClock replaces the wrapper's wall clock and returns a restore
+// function, for tests that need deterministic run metadata:
+//
+//	defer harness.SetClock(harness.FixedClock{})()
+func SetClock(c Clock) (restore func()) {
+	prev := wallClock
+	wallClock = c
+	return func() { wallClock = prev }
+}
+
+// FixedClock is a Clock frozen at one instant (its zero value is the
+// zero time). Runs stamped under it report a zero wall duration, which
+// is what lets goldens include meta.
+type FixedClock struct {
+	// T is the instant Now always returns.
+	T time.Time
+}
+
+// Now returns the fixed instant.
+func (f FixedClock) Now() time.Time { return f.T }

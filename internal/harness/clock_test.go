@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFixedClockPinsWall asserts the Clock seam works end to end: with a
+// frozen clock installed, the registry wrapper stamps a zero wall
+// duration, making Result meta fully deterministic (what lets goldens
+// pin meta).
+func TestFixedClockPinsWall(t *testing.T) {
+	defer SetClock(FixedClock{T: time.Unix(1700000000, 0)})()
+	res, err := Lookup("policy-compare").Run(Options{
+		Nodes: 16, MinIters: 1, MaxIters: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meta.Wall != 0 {
+		t.Errorf("wall = %v under a fixed clock, want 0", res.Meta.Wall)
+	}
+}
+
+// TestSetClockRestores asserts the restore function reinstates the
+// previous clock, so tests cannot leak a frozen clock into later runs.
+func TestSetClockRestores(t *testing.T) {
+	before := wallClock
+	restore := SetClock(FixedClock{})
+	if _, ok := wallClock.(FixedClock); !ok {
+		t.Fatalf("SetClock did not install the fixed clock (got %T)", wallClock)
+	}
+	restore()
+	if wallClock != before {
+		t.Errorf("restore did not reinstate the previous clock (got %T)", wallClock)
+	}
+}
+
+// TestSystemClockAdvances asserts the default clock is the host clock:
+// two reads straddling a sleep must differ. (The sleep is real wall
+// time — this is the one test allowed to care.)
+func TestSystemClockAdvances(t *testing.T) {
+	c := systemClock{}
+	a := c.Now()
+	time.Sleep(time.Millisecond)
+	if !c.Now().After(a) {
+		t.Error("system clock did not advance")
+	}
+}

@@ -45,6 +45,9 @@ func TestGoldenRunJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden runs take ~10s")
 	}
+	// A frozen clock stamps Wall = 0, so the goldens pin Result meta —
+	// wall_ns included — without post-hoc scrubbing.
+	defer SetClock(FixedClock{})()
 	enc, err := results.NewEncoder("json")
 	if err != nil {
 		t.Fatal(err)
@@ -60,7 +63,6 @@ func TestGoldenRunJSON(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res.Meta.Wall = 0 // host wall time is the one nondeterministic field
 			var buf bytes.Buffer
 			if err := enc.Encode(&buf, res); err != nil {
 				t.Fatal(err)

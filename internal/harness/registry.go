@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"time"
 
 	"repro/internal/results"
 )
@@ -54,7 +53,7 @@ func Register(e Experiment) {
 			opt = prepare(opt)
 		}
 		opt = opt.withDefaults(defaults)
-		start := time.Now()
+		start := wallClock.Now()
 		res, err := run(opt)
 		if err != nil {
 			return nil, err
@@ -66,7 +65,7 @@ func Register(e Experiment) {
 		res.Meta.Seed = opt.Seed
 		res.Meta.Nodes = opt.Nodes
 		res.Meta.PPN = opt.PPN
-		res.Meta.Wall = time.Since(start)
+		res.Meta.Wall = wallClock.Now().Sub(start)
 		return res, nil
 	}
 	registry[e.Name] = &e

@@ -1,0 +1,59 @@
+package lint
+
+import "go/ast"
+
+// Directive validates the //simlint: directives themselves, so the
+// suppression mechanism stays reviewable: unknown directive names (often
+// typos that would silently fail to suppress), suppressions without a
+// ` -- justification`, and hotpath annotations that are not attached to a
+// function declaration are all errors. This analyzer is itself not
+// suppressible.
+var Directive = &Analyzer{
+	Name: "directive",
+	Doc:  "validates //simlint: directive names, justifications, and placement",
+	Run:  runDirective,
+}
+
+func runDirective(pass *Pass) {
+	// hotpath directives are only meaningful on function declarations:
+	// collect the lines a func-decl annotation may occupy (its doc
+	// comment, or the line directly above the declaration).
+	funcLines := map[string]map[int]bool{}
+	mark := func(file string, line int) {
+		if funcLines[file] == nil {
+			funcLines[file] = map[int]bool{}
+		}
+		funcLines[file][line] = true
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			posn := pass.Fset.Position(fd.Pos())
+			mark(posn.Filename, posn.Line-1)
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					cp := pass.Fset.Position(c.Pos())
+					mark(cp.Filename, cp.Line)
+				}
+			}
+		}
+	}
+
+	for _, d := range pass.dirs.all {
+		spec, known := directiveNames[d.name]
+		switch {
+		case !known:
+			pass.Reportf(d.pos, "known directives: hotpath, sortediter, wallclock, allocok, retained",
+				"unknown simlint directive %q", d.name)
+		case spec.needsReason && d.reason == "":
+			pass.Reportf(d.pos, "write //simlint:"+d.name+" -- <why this exception is sound>",
+				"simlint:%s needs a justification after ` -- `", d.name)
+		case d.name == "hotpath" && !funcLines[d.file][d.line]:
+			pass.Reportf(d.pos, "place //simlint:hotpath in (or directly above) a function declaration's doc comment",
+				"simlint:hotpath annotates function declarations; this one is not attached to one")
+		}
+	}
+}

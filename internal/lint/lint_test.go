@@ -1,0 +1,224 @@
+package lint
+
+// The fixture tests mirror x/tools' analysistest: each analyzer runs
+// over a testdata/ file whose lines carry `// want "regexp"` markers,
+// and the test asserts the diagnostics match the markers exactly — every
+// marker hit, nothing unmarked reported. Fixtures are type-checked under
+// a synthetic sim-core import path so package-scoped analyzers engage,
+// with real repro/... and stdlib imports resolved through the same
+// export-data importer the standalone runner uses.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixturePkgPath is the import path fixtures are type-checked under: a
+// sim-core package, so every analyzer's package gate is open.
+const fixturePkgPath = "repro/internal/workloads"
+
+var fixtureEnv struct {
+	once sync.Once
+	fset *token.FileSet
+	imp  types.Importer
+	err  error
+}
+
+// fixtureImporter builds (once) an export-data importer covering the
+// real packages fixtures import.
+func fixtureImporter(t *testing.T) (*token.FileSet, types.Importer) {
+	t.Helper()
+	fixtureEnv.once.Do(func() {
+		pkgs, err := goList("../..",
+			"./internal/sim", "./internal/fabric", "fmt", "time", "math/rand")
+		if err != nil {
+			fixtureEnv.err = err
+			return
+		}
+		exports := map[string]string{}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+		fixtureEnv.fset = token.NewFileSet()
+		fixtureEnv.imp = exportImporter(fixtureEnv.fset, func(path string) string {
+			return exports[path]
+		})
+	})
+	if fixtureEnv.err != nil {
+		t.Fatalf("loading fixture export data (needs the go tool): %v", fixtureEnv.err)
+	}
+	return fixtureEnv.fset, fixtureEnv.imp
+}
+
+// loadFixture parses and type-checks one testdata file.
+func loadFixture(t *testing.T, name string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset, imp := fixtureImporter(t)
+	path := filepath.Join("testdata", name)
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	files := []*ast.File{f}
+	info := NewInfo()
+	pkg, err := typecheck(fset, fixturePkgPath, files, imp, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	return fset, files, pkg, info
+}
+
+var wantRE = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// parseWants reads the `// want "re"` markers of a fixture, keyed by
+// line. A line may carry several markers.
+func parseWants(t *testing.T, name string) map[int][]*regexp.Regexp {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[int][]*regexp.Regexp{}
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+			pat := strings.ReplaceAll(m[1], `\"`, `"`)
+			wants[i+1] = append(wants[i+1], regexp.MustCompile(pat))
+		}
+	}
+	return wants
+}
+
+// runFixture runs one analyzer over a fixture and checks its diagnostics
+// against the want markers.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	fset, files, pkg, info := loadFixture(t, name)
+	diags := RunAnalyzers([]*Analyzer{a}, fset, files, pkg, info)
+	wants := parseWants(t, name)
+
+	matched := map[int]map[int]bool{} // line -> want index -> hit
+	for _, d := range diags {
+		ok := false
+		for i, re := range wants[d.Pos.Line] {
+			if re.MatchString(d.Message) {
+				if matched[d.Pos.Line] == nil {
+					matched[d.Pos.Line] = map[int]bool{}
+				}
+				matched[d.Pos.Line][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", name, d.Pos.Line, d.Message)
+		}
+	}
+	for line, res := range wants {
+		for i, re := range res {
+			if !matched[line][i] {
+				t.Errorf("%s:%d: no diagnostic matched want %q", name, line, re)
+			}
+		}
+	}
+}
+
+func TestMapIterFixture(t *testing.T)   { runFixture(t, MapIter, "mapiter.go") }
+func TestWallTimeFixture(t *testing.T)  { runFixture(t, WallTime, "walltime.go") }
+func TestHotPathFixture(t *testing.T)   { runFixture(t, HotPath, "hotpath.go") }
+func TestFreeListFixture(t *testing.T)  { runFixture(t, FreeList, "freelist.go") }
+func TestSchedFuncFixture(t *testing.T) { runFixture(t, SchedFunc, "schedfunc.go") }
+
+// TestDirectiveAnalyzer uses explicit expectations: its diagnostics land
+// on the directive comments themselves, where inline want-markers cannot
+// live without becoming part of the directive.
+func TestDirectiveAnalyzer(t *testing.T) {
+	fset, files, pkg, info := loadFixture(t, "directive.go")
+	diags := RunAnalyzers([]*Analyzer{Directive}, fset, files, pkg, info)
+
+	want := []struct {
+		substr string
+	}{
+		{`unknown simlint directive "sortedlter"`},
+		{"needs a justification"},
+		{"annotates function declarations"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if !strings.Contains(diags[i].Message, w.substr) {
+			t.Errorf("diag %d = %q, want containing %q", i, diags[i].Message, w.substr)
+		}
+	}
+}
+
+// TestAnalyzersCleanOnEachOther runs every analyzer over a fixture
+// written for a different one: the constructs each fixture exercises
+// must not trip unrelated analyzers (mapiter's fixture has no clock
+// reads, schedfunc's no map ranges, ...).
+func TestAnalyzersCleanOnEachOther(t *testing.T) {
+	cases := map[string]*Analyzer{
+		"mapiter.go":   MapIter,
+		"walltime.go":  WallTime,
+		"schedfunc.go": SchedFunc,
+	}
+	for name, owner := range cases {
+		fset, files, pkg, info := loadFixture(t, name)
+		for _, a := range All() {
+			if a == owner || a == Directive {
+				continue // fixtures carry their owner's directives, validated above
+			}
+			if diags := RunAnalyzers([]*Analyzer{a}, fset, files, pkg, info); len(diags) > 0 {
+				t.Errorf("%s on %s: unexpected diagnostics: %v", a.Name, name, diags)
+			}
+		}
+	}
+}
+
+// TestByName covers the analyzer-selection flag.
+func TestByName(t *testing.T) {
+	got, err := ByName("mapiter,walltime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != MapIter || got[1] != WallTime {
+		t.Errorf("ByName selected %v", got)
+	}
+	if all, _ := ByName(""); len(all) != len(All()) {
+		t.Error("empty selection should mean all analyzers")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown analyzer name should error")
+	}
+}
+
+// TestDirectiveSameLineAndAbove pins the suppression grammar: a
+// directive suppresses on its own line and the line below, nothing else.
+func TestDirectiveSameLineAndAbove(t *testing.T) {
+	idx := &directiveIndex{byLine: map[string]map[int][]directive{
+		"f.go": {10: {{name: "allocok", line: 10, file: "f.go"}}},
+	}}
+	pos := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
+	if !idx.suppresses("allocok", pos(10)) {
+		t.Error("same-line directive should suppress")
+	}
+	if !idx.suppresses("allocok", pos(11)) {
+		t.Error("line-above directive should suppress")
+	}
+	if idx.suppresses("allocok", pos(12)) {
+		t.Error("directive two lines up must not suppress")
+	}
+	if idx.suppresses("sortediter", pos(10)) {
+		t.Error("a different directive name must not suppress")
+	}
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SchedFunc flags Engine.ScheduleFunc/AfterFunc outside test files and
+// examples/. The func shims allocate a closure (and box it into
+// Event.Data) per event — fine in tests and demos, but simulation and
+// experiment code must use static Handler implementations so the
+// steady-state event loop stays allocation-free.
+var SchedFunc = &Analyzer{
+	Name:      "schedfunc",
+	Doc:       "flags the alloc-per-event ScheduleFunc/AfterFunc shims outside tests and examples",
+	Directive: "allocok",
+	Run:       runSchedFunc,
+}
+
+func runSchedFunc(pass *Pass) {
+	// Unlike moduleOnly, cmd/ stays in scope: experiment drivers schedule
+	// real events too. Only examples/ (and test files, globally) may use
+	// the shims freely.
+	path := pass.Pkg.Path()
+	if path != "repro" && !strings.HasPrefix(path, "repro/") {
+		return
+	}
+	if strings.HasPrefix(path, "repro/examples/") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || (fn.Name() != "ScheduleFunc" && fn.Name() != "AfterFunc") {
+				return true
+			}
+			recv := fn.Signature().Recv()
+			if recv == nil || !isNamedPtr(recv.Type(), "repro/internal/sim", "Engine") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"define a static Handler type (often a pointer alias of the owning object) and Schedule it with context in Event.Arg/Data",
+				"Engine.%s allocates a closure per event; use a static Handler in non-test code", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,22 @@
+// directive fixture: exercised by TestDirectiveAnalyzer with explicit
+// expectations (the diagnostics land on the directive comments
+// themselves, so inline want-markers cannot annotate them).
+package fixture
+
+//simlint:sortedlter -- typo'd name that would silently fail to suppress
+var a = 1
+
+//simlint:allocok
+var b = 2
+
+//simlint:hotpath
+var c = 3
+
+//simlint:hotpath
+func annotated() {}
+
+// ordinary prose mentioning simlint: directives is not a directive.
+func prose() {
+	//simlint:wallclock -- a known name with a justification is valid anywhere
+	_ = a
+}

@@ -1,0 +1,81 @@
+// freelist fixture: loaded by the tests under a module library path.
+// It exercises the contract against the real sim.Event and fabric.Packet
+// types (resolved through export data).
+package fixture
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// leaky reads its stored event without nilling it: after the engine
+// recycles the event, leaky.ev points into an unrelated future schedule.
+type leaky struct {
+	ev *sim.Event
+}
+
+func (l *leaky) OnEvent(e *sim.Engine, _ *sim.Event) {
+	if l.ev != nil { // want "without nilling"
+		e.Cancel(l.ev)
+	}
+}
+
+// contractual follows the idiom: read the field, nil it, then act.
+type contractual struct {
+	ev *sim.Event
+}
+
+func (c *contractual) OnEvent(e *sim.Engine, _ *sim.Event) {
+	pending := c.ev
+	c.ev = nil
+	if pending != nil {
+		e.Cancel(pending)
+	}
+}
+
+// restorer only (re)stores a fresh event — a store is not a read.
+type restorer struct {
+	ev *sim.Event
+}
+
+func (r *restorer) OnEvent(e *sim.Engine, ev *sim.Event) {
+	r.ev = e.Schedule(ev.At+1, r, 0, nil)
+}
+
+// vouched documents why its read is safe.
+type vouched struct {
+	ev *sim.Event
+}
+
+func (v *vouched) OnEvent(e *sim.Engine, _ *sim.Event) {
+	//simlint:retained -- fixture: the field is nilled by the cancel path before any recycle
+	if v.ev != nil {
+		_ = e
+	}
+}
+
+// Packet retention: stores into fields and appends retain the packet
+// past its recycling point at deliver.
+
+type stash struct {
+	last *fabric.Packet
+	all  []*fabric.Packet
+}
+
+func (s *stash) keep(p *fabric.Packet) {
+	s.last = p // want "retains it past deliver"
+}
+
+func (s *stash) keepAll(p *fabric.Packet) {
+	s.all = append(s.all, p) // want "retains it past deliver"
+}
+
+func (s *stash) keepVouched(p *fabric.Packet) {
+	s.last = p //simlint:retained -- fixture: released again before the handler returns
+}
+
+// inspect is clean: locals may hold the packet within the call.
+func inspect(p *fabric.Packet) int {
+	q := p
+	return q.Payload
+}

@@ -1,0 +1,60 @@
+// hotpath fixture: loaded by the tests under a module library path.
+package fixture
+
+import "fmt"
+
+type ring struct {
+	buf   []int
+	seen  map[int]bool
+	boxed any
+}
+
+func sink(v any) { _ = v }
+
+//simlint:hotpath
+func (r *ring) hot(v int, out []int) []int {
+	r.buf = append(r.buf, v) // receiver-owned append: clean
+
+	f := func() int { return v } // want "closure captures"
+	_ = f
+
+	fmt.Println("v") // want "fmt.Println allocates"
+
+	m := map[int]bool{} // want "map literal allocates"
+	_ = m
+
+	r.seen = make(map[int]bool) // want "make.map. allocates"
+
+	sink(v) // want "boxed into"
+
+	r.boxed = v // want "boxed into"
+
+	out = append(out, v) // want "non-receiver-owned slice"
+
+	return out
+}
+
+//simlint:hotpath
+func (r *ring) hotSuppressed(v int) {
+	sink(v) //simlint:allocok -- fixture: cold branch, measured at 0 allocs steady-state
+}
+
+// cold has every construct but no hotpath annotation: clean.
+func (r *ring) cold(v int, out []int) []int {
+	f := func() int { return v }
+	_ = f
+	fmt.Println("v")
+	r.seen = map[int]bool{}
+	sink(v)
+	return append(out, v)
+}
+
+//simlint:hotpath
+func (r *ring) hotClean(v int) {
+	// pointer and interface values pass without boxing; package-level
+	// state is not a capture.
+	sink(r)
+	if r.seen[v] {
+		r.buf = r.buf[:0]
+	}
+}

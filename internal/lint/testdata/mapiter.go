@@ -1,0 +1,50 @@
+// mapiter fixture: loaded by the tests under a sim-core package path.
+package fixture
+
+var reg = map[string]int{"a": 1, "b": 2}
+
+// unordered ranges a map with an order-dependent body: flagged.
+func unordered() string {
+	s := ""
+	for k := range reg { // want "range over map"
+		s += k
+	}
+	return s
+}
+
+// both key and value forms are the same iteration: flagged.
+func unorderedKV() int {
+	t := 0
+	for _, v := range reg { // want "range over map"
+		t += v
+	}
+	return t
+}
+
+// suppressed documents why this particular consumption is sound.
+func suppressed() int {
+	t := 0
+	for _, v := range reg { //simlint:sortediter -- integer sum is commutative
+		t += v
+	}
+	return t
+}
+
+// suppressedAbove uses the line-above directive placement.
+func suppressedAbove() int {
+	t := 0
+	//simlint:sortediter -- integer sum is commutative
+	for _, v := range reg {
+		t += v
+	}
+	return t
+}
+
+// overSlice is clean: slices iterate in index order.
+func overSlice(xs []int) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

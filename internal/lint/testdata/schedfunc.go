@@ -1,0 +1,20 @@
+// schedfunc fixture: loaded by the tests under a module library path.
+package fixture
+
+import "repro/internal/sim"
+
+type ticker struct{}
+
+func (ticker) OnEvent(*sim.Engine, *sim.Event) {}
+
+func kickoff(e *sim.Engine) {
+	e.AfterFunc(5, func() {})     // want "Engine.AfterFunc allocates a closure"
+	e.ScheduleFunc(10, func() {}) // want "Engine.ScheduleFunc allocates a closure"
+
+	//simlint:allocok -- fixture: one-off experiment setup event
+	e.AfterFunc(7, func() {})
+
+	// Static handlers are the sanctioned form.
+	e.After(5, ticker{}, 0, nil)
+	e.Schedule(10, ticker{}, 0, nil)
+}

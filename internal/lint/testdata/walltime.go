@@ -1,0 +1,42 @@
+// walltime fixture: loaded by the tests under a module library path.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now reads the host clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the host clock"
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want "global math/rand stream"
+}
+
+// ownedStream is clean: constructors are allowed, and methods on an
+// owned generator draw from a seeded stream, not the global one.
+func ownedStream() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(10)
+}
+
+// durations and time arithmetic on values are clean: only host-clock
+// reads are nondeterministic.
+func arithmetic(a, b time.Time, d time.Duration) time.Duration {
+	return b.Sub(a) + d
+}
+
+// exempted shows the directive: an explicitly justified boundary.
+func exempted() time.Time {
+	//simlint:wallclock -- fixture: the documented clock-injection seam
+	return time.Now()
+}

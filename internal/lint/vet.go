@@ -1,0 +1,202 @@
+package lint
+
+// This file implements the `go vet -vettool` unit-checker protocol by
+// hand (the stdlib has no public version of x/tools' unitchecker). The
+// go command drives a vet tool as follows:
+//
+//  1. `tool -flags` — the tool prints a JSON description of its flags
+//     (we have none that vet needs to know about: `[]`).
+//  2. `tool -V=full` — the tool prints `<basename> version <version>`;
+//     the version string participates in go's action cache key, so it
+//     must change when the analyzers change meaningfully, and must not
+//     be "devel" (go rejects it when parsing the build ID).
+//  3. `tool [-json] <dir>/vet.cfg` once per package, where vet.cfg
+//     describes the unit: source files, the import map, and the compiled
+//     export data of every dependency. Dependency-only units arrive with
+//     VetxOnly=true and are not analyzed; every unit must write its
+//     VetxOutput facts file (empty — these analyzers exchange no facts).
+//
+// Diagnostics go to stderr with exit status 1 (or, under -json, to
+// stdout as a {pkg: {analyzer: [diagnostic]}} tree with exit 0), which
+// is how the go command distinguishes findings from tool failure.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetVersion is the -V=full version stamp; bump the suffix when analyzer
+// behaviour changes so `go vet` cache entries from older simlint builds
+// are invalidated.
+const vetVersion = "go1.24.0-simlint1"
+
+// vetConfig mirrors the vet.cfg JSON the go command writes for each
+// package unit.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetTool implements the vet-tool side of the protocol for one
+// invocation with the given arguments (os.Args[1:]), returning the
+// process exit code. cmd/simlint dispatches here whenever the arguments
+// look like a go-vet driver call.
+func VetTool(args []string, stdout, stderr io.Writer) int {
+	jsonOut := false
+	cfgPath := ""
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "-V":
+			// First field must equal the executable's basename — the go
+			// command parses this line to build the tool's cache key.
+			fmt.Fprintf(stdout, "%s version %s\n", toolBasename(), vetVersion)
+			return 0
+		case a == "-flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case a == "-json":
+			jsonOut = true
+		case strings.HasSuffix(a, ".cfg"):
+			cfgPath = a
+		}
+	}
+	if cfgPath == "" {
+		fmt.Fprintf(stderr, "simlint (vet mode): no vet.cfg argument in %q\n", args)
+		return 2
+	}
+	id, diags, err := vetUnit(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		return writeJSONDiags(stdout, id, diags)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// IsVetInvocation reports whether the argument list looks like the go
+// command driving a vet tool rather than a human running simlint.
+func IsVetInvocation(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// vetUnit analyzes one vet.cfg package unit, returning the unit's ID and
+// its diagnostics.
+func vetUnit(cfgPath string) (string, []Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return "", nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return "", nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	diags, err := analyzeUnit(&cfg)
+	return cfg.ID, diags, err
+}
+
+func analyzeUnit(cfg *vetConfig) ([]Diagnostic, error) {
+	// Every unit owes the driver its facts file, even dependency-only
+	// ones; these analyzers exchange no facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	// The go command merges in-package test files into the unit; the
+	// invariants do not apply to tests, so drop them before typechecking
+	// (the non-test files of a package always typecheck on their own).
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil // external-test unit: nothing in scope
+	}
+
+	imp := exportImporter(fset, func(path string) string {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		return cfg.PackageFile[path]
+	})
+	info := NewInfo()
+	tpkg, err := typecheck(fset, cfg.ImportPath, files, imp, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+	return RunAnalyzers(All(), fset, files, tpkg, info), nil
+}
+
+// writeJSONDiags emits the unitchecker-compatible -json tree.
+func writeJSONDiags(w io.Writer, pkgID string, diags []Diagnostic) int {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		msg := d.Message
+		if d.Hint != "" {
+			msg += " (fix: " + d.Hint + ")"
+		}
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{Posn: d.Pos.String(), Message: msg})
+	}
+	tree := map[string]map[string][]jsonDiag{pkgID: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(tree); err != nil {
+		return 2
+	}
+	return 0
+}
+
+func toolBasename() string {
+	return filepath.Base(os.Args[0])
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime flags host-clock and global-RNG use in library code. Simulated
+// sim.Time and seeded per-run *sim.RNG streams are the only clock and
+// randomness sources allowed outside cmd/, examples/, and test files:
+// time.Now in a result path makes output differ across runs, and the
+// global math/rand stream is seeded per-process, shared across
+// everything, and ordered by call interleaving — all three properties
+// break replay.
+var WallTime = &Analyzer{
+	Name:      "walltime",
+	Doc:       "flags wall-clock reads and global math/rand use in library code",
+	Directive: "wallclock",
+	Run:       runWallTime,
+}
+
+// wallTimeFuncs are the time package functions that read or wait on the
+// host clock. Types (time.Time, time.Duration) and pure constructors
+// (time.Date, time.Unix) stay legal: only host-clock *reads* are
+// nondeterministic.
+var wallTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicit generators rather than drawing from the global stream; they
+// are fine (the walltime analyzer would still catch a time.Now seed).
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallTime(pass *Pass) {
+	if !moduleOnly(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Methods (e.g. (*rand.Rand).Intn on an owned generator, or
+			// time.Time.Sub on simulation-derived stamps) are fine; only
+			// package-level functions touch the host clock or the global
+			// stream.
+			if fn.Signature().Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"use simulated sim.Time from the engine (or inject a Clock and annotate its wall implementation //simlint:wallclock -- <why>)",
+						"time.%s reads the host clock; library code must use simulated time", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"draw from a seeded per-run *sim.RNG stream instead of the process-global generator",
+						"%s.%s uses the global math/rand stream; library code must use seeded per-run RNG streams",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -37,6 +37,13 @@ type Meta struct {
 	Rev string `json:"rev,omitempty"`
 	// GoVersion is the toolchain the producing binary was built with.
 	GoVersion string `json:"go_version,omitempty"`
+	// SimlintClean records whether the simlint static-invariant suite
+	// (internal/lint) reported zero undirectived diagnostics over the
+	// producing tree — i.e. whether the source-level alloc/determinism
+	// gate held at generation time. Nil means the check was not run
+	// (ordinary experiment results); benchreport stamps it on the perf
+	// baseline.
+	SimlintClean *bool `json:"simlint_clean,omitempty"`
 }
 
 // Kind discriminates the Value variants.

@@ -24,6 +24,7 @@ func NewMinimalOnly() Policy { return MinimalOnly{} }
 func (MinimalOnly) Name() string { return "minimal" }
 
 // Choose returns the first cached minimal path.
+//simlint:hotpath
 func (MinimalOnly) Choose(_ topology.Topology, _ Context, minimal []topology.Path,
 	_ LoadReader, _ *sim.RNG) topology.Path {
 	return minimal[0]
@@ -45,6 +46,7 @@ func NewSlingshotAdaptive() Policy { return SlingshotAdaptive{} }
 func (SlingshotAdaptive) Name() string { return "adaptive" }
 
 // Choose scores minimal and non-minimal candidates by queue depth.
+//simlint:hotpath
 func (SlingshotAdaptive) Choose(topo topology.Topology, ctx Context,
 	minimal []topology.Path, load LoadReader, rng *sim.RNG) topology.Path {
 	cands := minimal
@@ -58,22 +60,16 @@ func (SlingshotAdaptive) Choose(topo topology.Topology, ctx Context,
 	if bias < 1 {
 		bias = 1
 	}
-	noise := func() float64 {
-		if ctx.RouteNoise <= 0 || rng == nil {
-			return 1
-		}
-		return 1 + ctx.RouteNoise*rng.Float64()
-	}
 	best := cands[0]
-	bestCost := PathCost(load, cands[0], noise())
+	bestCost := PathCost(load, cands[0], costNoise(ctx.RouteNoise, rng))
 	for _, c := range cands[1:] {
-		if cost := PathCost(load, c, noise()); cost < bestCost {
+		if cost := PathCost(load, c, costNoise(ctx.RouteNoise, rng)); cost < bestCost {
 			best, bestCost = c, cost
 		}
 	}
 	fromArena := false
 	for _, c := range nonMin {
-		if cost := PathCost(load, c, bias*noise()); cost < bestCost {
+		if cost := PathCost(load, c, bias*costNoise(ctx.RouteNoise, rng)); cost < bestCost {
 			best, bestCost, fromArena = c, cost, true
 		}
 	}
@@ -81,9 +77,20 @@ func (SlingshotAdaptive) Choose(topo topology.Topology, ctx Context,
 		// Non-minimal candidates live in the topology's reusable
 		// path-construction arena and are overwritten by the next routing
 		// decision; the packet keeps this path for its whole flight.
-		best = append(topology.Path(nil), best...)
+		best = append(topology.Path(nil), best...) //simlint:allocok -- arena copy only when a non-minimal path wins; the steady-state minimal path stays alloc-free
 	}
 	return best
+}
+
+// costNoise draws one multiplicative cost-estimate perturbation
+// (§II-C estimate staleness): 1 when noise is off or no stream is
+// available, else 1 + routeNoise·U[0,1). One draw per cost evaluation,
+// in candidate order — the draw sequence the goldens pin.
+func costNoise(routeNoise float64, rng *sim.RNG) float64 {
+	if routeNoise <= 0 || rng == nil {
+		return 1
+	}
+	return 1 + routeNoise*rng.Float64()
 }
 
 // ECMPHash is classical equal-cost multi-path: a deterministic flow hash
@@ -101,6 +108,7 @@ func NewECMPHash() Policy { return ECMPHash{} }
 func (ECMPHash) Name() string { return "ecmp" }
 
 // Choose hashes the flow identity over the minimal candidates.
+//simlint:hotpath
 func (ECMPHash) Choose(_ topology.Topology, ctx Context, minimal []topology.Path,
 	_ LoadReader, _ *sim.RNG) topology.Path {
 	if len(minimal) == 1 {
@@ -141,6 +149,7 @@ const ugalDetourBias = 2.0
 
 // Choose compares the best minimal path against up to two random-
 // intermediate detours by queue-depth cost.
+//simlint:hotpath
 func (ValiantUGAL) Choose(topo topology.Topology, ctx Context,
 	minimal []topology.Path, load LoadReader, rng *sim.RNG) topology.Path {
 	best := minimal[0]
@@ -162,7 +171,7 @@ func (ValiantUGAL) Choose(topo topology.Topology, ctx Context,
 		}
 	}
 	if fromArena {
-		best = append(topology.Path(nil), best...)
+		best = append(topology.Path(nil), best...) //simlint:allocok -- arena copy only when a detour wins; idle fabrics stay on the alloc-free minimal path
 	}
 	return best
 }

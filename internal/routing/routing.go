@@ -115,7 +115,7 @@ func ByName(name string) (Builder, error) {
 // Names lists the registered policy names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(builders))
-	for name := range builders {
+	for name := range builders { //simlint:sortediter -- keys are collected and sorted before any consumer sees them
 		out = append(out, name)
 	}
 	sort.Strings(out)

@@ -28,6 +28,7 @@ type App struct {
 // iteration is nowhere near the packet hot path.
 func compute(j *mpi.Job, rng *sim.RNG, d sim.Time, next func()) {
 	jit := 1 + 0.05*(rng.Float64()-0.5)
+	//simlint:allocok -- one compute-phase continuation per app iteration, far off the per-packet spine
 	j.Net.Eng.AfterFunc(sim.Time(float64(d)*jit), next)
 }
 
@@ -128,6 +129,7 @@ func tailbenchApp(name string, service sim.Time, sigma float64, reqBytes, respBy
 		Iterate: func(j *mpi.Job, rng *sim.RNG, done func()) {
 			client, server := 0, j.Size()-1
 			j.Send(client, server, reqBytes, func(sim.Time) {
+				//simlint:allocok -- one service-time continuation per request; the request itself is already a closure chain
 				j.Net.Eng.AfterFunc(rng.LogNormal(service, sigma), func() {
 					j.Send(server, client, respBytes, func(sim.Time) { done() })
 				})
