@@ -60,7 +60,7 @@ func main() {
 	res.Meta.Desc = "hot-path perf baseline (ns/allocs/bytes per unit of work)"
 	res.Meta.Rev = gitRev()
 	res.Meta.GoVersion = runtime.Version()
-	res.Meta.SimlintClean = simlintClean(os.Stderr)
+	res.Meta.SimlintClean, res.Meta.SpineFuncs = simlintClean(os.Stderr)
 	t := res.AddTable("benchmarks", "benchmark", "unit", "iters", "ns/unit", "allocs/unit", "B/unit")
 	start := time.Now()
 	for _, bm := range bench.Suite() {
@@ -203,27 +203,30 @@ func delta(old, cur float64) float64 {
 }
 
 // simlintClean runs the full simlint suite over the module and reports
-// whether the source-level invariant gate held, so the perf baseline
-// records the fact alongside the measured allocs. A load failure (no go
-// tool, not in a checkout) stamps false with a note rather than hiding
-// the field: a baseline that could not be checked should not claim
-// cleanliness.
-func simlintClean(w io.Writer) *bool {
+// whether the source-level invariant gate held, plus the size of the
+// hot-path spine the call-graph analysis audited — so the perf baseline
+// records both facts alongside the measured allocs. A load failure (no
+// go tool, not in a checkout) stamps false with a note rather than
+// hiding the field: a baseline that could not be checked should not
+// claim cleanliness.
+func simlintClean(w io.Writer) (*bool, int) {
 	fmt.Fprintln(w, "benchreport: running simlint over ./...")
 	clean := false
-	diags, err := lint.Check(".", "./...")
+	rep, err := lint.Run(".", lint.All(), "./...")
 	switch {
 	case err != nil:
 		fmt.Fprintf(w, "benchreport: simlint check failed (stamping simlint_clean=false): %v\n", err)
-	case len(diags) > 0:
-		fmt.Fprintf(w, "benchreport: simlint found %d violation(s) (stamping simlint_clean=false)\n", len(diags))
-		for _, d := range diags {
+		return &clean, 0
+	case len(rep.Diags) > 0:
+		fmt.Fprintf(w, "benchreport: simlint found %d violation(s) (stamping simlint_clean=false)\n", len(rep.Diags))
+		for _, d := range rep.Diags {
 			fmt.Fprintf(w, "  %s\n", d)
 		}
 	default:
 		clean = true
 	}
-	return &clean
+	fmt.Fprintf(w, "benchreport: hot-path spine covers %d functions\n", len(rep.Spine))
+	return &clean, len(rep.Spine)
 }
 
 // gitRev resolves the producing revision: the working tree's HEAD when

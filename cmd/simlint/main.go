@@ -1,7 +1,8 @@
 // Command simlint runs the simulator's custom invariant analyzers (see
 // internal/lint): nondeterministic map iteration, wall-clock/global-RNG
-// use, hot-path allocations, free-list contract violations, and the
-// alloc-per-event scheduling shims.
+// use, hot-path allocations, interprocedural spine reachability,
+// shared-state confinement, RNG-stream discipline, free-list contract
+// violations, and the alloc-per-event scheduling shims.
 //
 // It runs two ways:
 //
@@ -9,7 +10,14 @@
 //	go build -o simlint ./cmd/simlint
 //	go vet -vettool=$PWD/simlint ./...    # as a go vet tool (cached, parallel)
 //
-// Standalone flags: -only a,b limits the analyzers; -list prints them.
+// Standalone, packages are analyzed in dependency order through one
+// fact session, so the interprocedural analyzers see the same
+// cross-package call graph as under go vet.
+//
+// Standalone flags: -only a,b limits the analyzers; -list prints them;
+// -list-spine prints every function transitively reachable from the
+// //simlint:hotpath roots (the audited spine); -json emits diagnostics
+// as a {package: {analyzer: [diagnostic]}} tree.
 // Exit status: 0 clean, 1 diagnostics found, 2 tool failure.
 package main
 
@@ -30,12 +38,14 @@ func main() {
 
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	listSpine := flag.Bool("list-spine", false, "print the hot-path spine (every function reachable from //simlint:hotpath roots) and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON ({package: {analyzer: [diagnostic]}})")
 	dir := flag.String("C", ".", "directory to run go list from (the module root)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -49,17 +59,34 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(*dir, patterns...)
+	rep, err := lint.Run(*dir, analyzers, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
-	exit := 0
-	for _, p := range pkgs {
-		for _, d := range lint.RunAnalyzers(analyzers, p.Fset, p.Files, p.Types, p.Info) {
-			fmt.Println(d)
-			exit = 1
+
+	if *listSpine {
+		for _, fn := range rep.Spine {
+			fmt.Println(fn)
 		}
+		return
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, rep.Diags); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+		if len(rep.Diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	exit := 0
+	for _, d := range rep.Diags {
+		fmt.Println(d)
+		exit = 1
 	}
 	os.Exit(exit)
 }

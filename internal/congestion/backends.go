@@ -17,6 +17,8 @@ type pairState struct {
 	lastCut sim.Time
 	// Slingshot: one pacing escalation per interval.
 	lastEscalate sim.Time
+	// Delay: the pair's calibrated RTT setpoint (0 until first computed).
+	target sim.Time
 	// Stats.
 	signals int64
 }
@@ -230,11 +232,40 @@ func (c *ecnLike) OnAck(dst topology.NodeID, bytes int64, marked bool, _, now si
 func (c *ecnLike) OnSignal(topology.NodeID, float64, sim.Time) {}
 
 // delayBased is the Swift/TIMELY-style controller: the congestion signal
-// is the ack round-trip time itself. RTT above TargetRTT reads as standing
-// queue and cuts the window in proportion to the overshoot; RTT at or
-// below target grows it additively. It needs no switch support at all —
-// not even ECN marking.
-type delayBased struct{ base }
+// is the ack round-trip time itself. RTT above the target reads as
+// standing queue and cuts the window in proportion to the overshoot; RTT
+// at or below target grows it additively. It needs no switch support at
+// all — not even ECN marking.
+//
+// The target is per destination: Params.TargetRTT is the floor, raised
+// to the fabric-calibrated quiet RTT of the pair's path when a base-RTT
+// oracle is installed (see TargetCalibrator) — Swift's topology-aware
+// base-delay term.
+type delayBased struct {
+	base
+	baseRTT func(topology.NodeID) sim.Time
+}
+
+// CalibrateTarget installs the fabric's quiet-RTT oracle; per-pair
+// setpoints are derived lazily from it on first use.
+func (c *delayBased) CalibrateTarget(base func(topology.NodeID) sim.Time) {
+	c.baseRTT = base
+}
+
+// targetFor returns the pair's setpoint, computing it on first use: the
+// configured TargetRTT, raised to the oracle's quiet full-window RTT on
+// paths where the topology alone exceeds the configured floor.
+func (c *delayBased) targetFor(ps *pairState, dst topology.NodeID) sim.Time {
+	if ps.target == 0 {
+		ps.target = c.p.TargetRTT
+		if c.baseRTT != nil {
+			if t := c.baseRTT(dst); t > ps.target {
+				ps.target = t
+			}
+		}
+	}
+	return ps.target
+}
 
 // Algorithm names the backend.
 func (c *delayBased) Algorithm() string { return Delay.String() }
@@ -249,7 +280,8 @@ func (c *delayBased) OnAck(dst topology.NodeID, bytes int64, _ bool, rtt, now si
 	if rtt <= 0 {
 		return true // no sample (e.g. a test driving acks directly)
 	}
-	if rtt > c.p.TargetRTT {
+	target := c.targetFor(ps, dst)
+	if rtt > target {
 		// Multiplicative decrease proportional to the overshoot, at most
 		// once per ~RTT-scale interval (a whole window's acks report the
 		// same standing queue).
@@ -257,7 +289,7 @@ func (c *delayBased) OnAck(dst topology.NodeID, bytes int64, _ bool, rtt, now si
 			ps.lastCut = now
 			ps.signals++
 			c.stats.TotalSignals++
-			cut := 1 - c.p.DelayBeta*float64(rtt-c.p.TargetRTT)/float64(rtt)
+			cut := 1 - c.p.DelayBeta*float64(rtt-target)/float64(rtt)
 			if cut < c.p.DelayMaxCut {
 				cut = c.p.DelayMaxCut
 			}

@@ -184,6 +184,19 @@ type Controller interface {
 // built in parallel).
 type Builder func() Controller
 
+// TargetCalibrator is implemented by controllers whose setpoint should
+// track the topology rather than a fixed constant. The fabric calls
+// CalibrateTarget once per NIC at build time with a quiet-RTT oracle:
+// base(dst) estimates the uncongested full-window ack round-trip from
+// that NIC to dst. The delay-based backend uses it to raise its
+// per-destination TargetRTT above the configured floor where the quiet
+// path alone exceeds it — on a 1024-node fat-tree the cross-spine RTT
+// passes 8 µs before any queue forms, and an uncalibrated controller
+// reads the topology itself as congestion and over-throttles.
+type TargetCalibrator interface {
+	CalibrateTarget(base func(dst topology.NodeID) sim.Time)
+}
+
 // NewController returns a controller of p.Kind with the given parameters
 // (zero params take the kind's defaults).
 func NewController(p Params) Controller {
@@ -212,7 +225,7 @@ func BuilderFor(p Params) Builder {
 // kinds is the single list of selectable algorithms ByName and Names
 // derive from; a new backend is added here (plus Kind.String and
 // NewController's dispatch).
-var kinds = []Kind{None, Slingshot, ECNLike, Delay}
+var kinds = [...]Kind{None, Slingshot, ECNLike, Delay}
 
 // ByName returns a Builder for an algorithm name with its default
 // parameters.

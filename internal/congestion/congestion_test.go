@@ -310,6 +310,60 @@ func TestDelayRecoversOnTargetRTT(t *testing.T) {
 	}
 }
 
+func TestDelayTargetCalibration(t *testing.T) {
+	p := DefaultParams(Delay)
+	c := NewController(p)
+	far := topology.NodeID(11)
+	cal, ok := c.(TargetCalibrator)
+	if !ok {
+		t.Fatal("delay controller does not implement TargetCalibrator")
+	}
+	// Oracle: the far pair's quiet RTT is past the fixed floor, dst's is
+	// below it.
+	farBase := p.TargetRTT + 4*sim.Microsecond
+	cal.CalibrateTarget(func(d topology.NodeID) sim.Time {
+		if d == far {
+			return farBase
+		}
+		return p.TargetRTT / 2
+	})
+	// A sample between floor and calibrated base is the topology speaking,
+	// not a queue: no cut on the far pair.
+	rtt := p.TargetRTT + 2*sim.Microsecond
+	c.OnAck(far, 4096, false, rtt, 0)
+	if c.Window(far) != p.InitialWindow || c.Stats().TotalSignals != 0 {
+		t.Errorf("calibrated pair cut on a sub-base RTT: window %d, signals %d",
+			c.Window(far), c.Stats().TotalSignals)
+	}
+	// The same sample on the short pair is real queueing: cut, and with
+	// the overshoot measured against the floor (the oracle never lowers
+	// the target below Params.TargetRTT).
+	c.OnAck(dst, 4096, false, rtt, 0)
+	want := int64(float64(p.InitialWindow) * (1 - p.DelayBeta*float64(rtt-p.TargetRTT)/float64(rtt)))
+	if got := c.Window(dst); got != want {
+		t.Errorf("short pair window = %d, want %d", got, want)
+	}
+	// Past the calibrated base the far pair cuts too — calibration raises
+	// the setpoint, it does not disable the controller.
+	now := 2 * p.RecoveryQuiet
+	c.OnAck(far, 4096, false, 2*farBase, now)
+	if c.Window(far) >= p.InitialWindow {
+		t.Error("far pair never cuts despite RTT past its calibrated base")
+	}
+	// An uncalibrated controller cuts the far pair on the sub-base sample:
+	// the over-throttle the oracle exists to prevent.
+	u := NewController(p)
+	u.OnAck(far, 4096, false, rtt, 0)
+	if u.Window(far) >= p.InitialWindow {
+		// Expected: this is the misbehaviour. Guard the premise.
+	} else if u.Stats().TotalSignals == 0 {
+		t.Error("uncalibrated cut without counting a signal")
+	}
+	if u.Window(far) == p.InitialWindow {
+		t.Error("uncalibrated controller did not cut on the sub-base RTT; the fixture lost its point")
+	}
+}
+
 func TestDelayPerPairIsolation(t *testing.T) {
 	p := DefaultParams(Delay)
 	c := NewController(p)

@@ -136,6 +136,18 @@ func (n *Network) build() {
 		h := n.nics[0].cc.Hooks()
 		n.wantSignals, n.wantECN = h.EndpointSignals, h.ECNMarks
 	}
+	// Controllers that calibrate their setpoint against the topology get a
+	// quiet-RTT oracle: without it the delay-based scheme reads the base
+	// RTT of a large fabric (cross-spine fat-tree paths, long Dragonfly
+	// valiant detours) as standing queue and over-throttles.
+	for _, nic := range n.nics {
+		if cal, ok := nic.cc.(congestion.TargetCalibrator); ok {
+			src, win := nic.ID, nic.cc.Params().InitialWindow
+			cal.CalibrateTarget(func(dst topology.NodeID) sim.Time {
+				return n.quietRTT(src, dst, win)
+			})
+		}
+	}
 
 	newSched := func() *qos.PortScheduler {
 		return qos.NewPortScheduler(n.QoS, prof.fabricBits())
@@ -351,6 +363,30 @@ func (n *Network) QueuedTo(a, b topology.SwitchID) int64 {
 		}
 	}
 	return least
+}
+
+// quietRTT estimates the uncongested ack round-trip between two nodes
+// with a full congestion window in flight: NIC hardware latency both
+// ways, serialization of the whole window onto the edge link (the last
+// packet's ack closes the loop), the mean switch traversal per hop of
+// one minimal path, and the reverse-crossbar latency both directions.
+// It feeds congestion.TargetCalibrator at build time and is deliberately
+// path-shape only — no queue state — so the figure is deterministic and
+// stable across a run.
+func (n *Network) quietRTT(src, dst topology.NodeID, window int64) sim.Time {
+	prof := &n.Prof
+	var path topology.Path
+	switches := 1
+	if s, d := n.Topo.SwitchOf(src), n.Topo.SwitchOf(dst); s != d {
+		if ps := n.minimalPaths(s, d); len(ps) > 0 {
+			path = ps[0]
+			switches = len(path)
+		}
+	}
+	rtt := 2*prof.NICLatency + sim.SerializationTime(window, prof.EdgeBits)
+	rtt += sim.Time(switches) * rosetta.MeanTraversal(0, 2)
+	rtt += 2 * n.revLatency(path)
+	return rtt
 }
 
 // revLatency approximates the reverse-path delay of acknowledgements,

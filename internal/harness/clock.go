@@ -23,7 +23,7 @@ func (systemClock) Now() time.Time {
 // wallClock is the clock the registry wrapper reads. Swapped only via
 // SetClock; the harness runs experiments from a single goroutine per
 // process setup phase, so a plain variable suffices.
-var wallClock Clock = systemClock{}
+var wallClock Clock = systemClock{} //simlint:shared -- the process-wide clock seam; swapped only by SetClock from the single-goroutine test/setup phase, never during a run
 
 // SetClock replaces the wrapper's wall clock and returns a restore
 // function, for tests that need deterministic run metadata:

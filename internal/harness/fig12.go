@@ -41,9 +41,9 @@ type Fig12Result struct {
 // identically to persistent congestion, so reduced-scale runs use a
 // truncated axis by default.
 var (
-	Fig12MsgSizes   = []int64{16 * 1024, 128 * 1024, 1 << 20}
-	Fig12BurstSizes = []int{1, 100, 10000, 1000000}
-	Fig12GapsUS     = []int64{1, 100, 10000, 1000000}
+	Fig12MsgSizes   = [...]int64{16 * 1024, 128 * 1024, 1 << 20}
+	Fig12BurstSizes = [...]int{1, 100, 10000, 1000000}
+	Fig12GapsUS     = [...]int64{1, 100, 10000, 1000000}
 )
 
 // Fig12Bursty runs the grid. With opt.MaxIters small this is the heaviest
@@ -52,13 +52,13 @@ var (
 func Fig12Bursty(opt Options, msgSizes []int64, bursts []int, gapsUS []int64) Fig12Result {
 	opt = opt.withDefaults(fig12Defaults)
 	if msgSizes == nil {
-		msgSizes = Fig12MsgSizes
+		msgSizes = Fig12MsgSizes[:]
 	}
 	if bursts == nil {
-		bursts = Fig12BurstSizes
+		bursts = Fig12BurstSizes[:]
 	}
 	if gapsUS == nil {
-		gapsUS = Fig12GapsUS
+		gapsUS = Fig12GapsUS[:]
 	}
 	sys := Malbec(opt.Nodes * 2)
 	victim := BenchVictim(workloads.AlltoallBench(128))

@@ -286,7 +286,7 @@ func (s *startBisection) OnEvent(*sim.Engine, *sim.Event) {
 	n := s.j.Size()
 	for r := 0; r < n; r++ {
 		p := &bisectionRank{op: s, r: r, partner: (r + n/2) % n}
-		p.onPut = func(sim.Time) { p.post() }
+		p.onPut = func(sim.Time) { p.post() } //simlint:allocok -- one callback per rank at job launch, reused for every put
 		for w := 0; w < s.window; w++ {
 			p.post()
 		}

@@ -117,7 +117,7 @@ type Fig4Result struct {
 }
 
 // Fig4Sizes are the paper's four message sizes.
-var Fig4Sizes = []int64{8, 1024, 128 * 1024, 4 * 1024 * 1024}
+var Fig4Sizes = [...]int64{8, 1024, 128 * 1024, 4 * 1024 * 1024}
 
 // Fig4Distance runs the Fig. 4 grid. Every (distance, size) point builds
 // a fresh network, so points run in parallel across opt.Jobs workers.
@@ -238,7 +238,7 @@ type Fig5Result struct {
 
 // Fig5Sizes spans 8 B to 16 MiB in decade-ish steps like the paper's
 // log-scale x axis.
-var Fig5Sizes = []int64{8, 64, 512, 1024, 4096, 32 * 1024, 256 * 1024, 2 << 20, 16 << 20}
+var Fig5Sizes = [...]int64{8, 64, 512, 1024, 4096, 32 * 1024, 256 * 1024, 2 << 20, 16 << 20}
 
 // Fig5Stacks runs the Fig. 5 grid between two nodes in different groups.
 // Points build independent networks and run in parallel.

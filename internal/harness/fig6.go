@@ -40,7 +40,7 @@ type Fig6Result struct {
 }
 
 // Fig6Sizes are the paper's x-axis sizes (8 B ... 128 KiB).
-var Fig6Sizes = []int64{8, 32, 128, 512, 2048, 8192, 32 * 1024, 128 * 1024}
+var Fig6Sizes = [...]int64{8, 32, 128, 512, 2048, 8192, 32 * 1024, 128 * 1024}
 
 // Fig6Bisection measures both series. PPN follows opt.PPN for the alltoall
 // series (the paper shows 16 and 24; reduced-scale runs use smaller

@@ -76,7 +76,7 @@ type Fig9RowResult struct {
 // Fig9Splits are the paper's victim/aggressor splits: ~90/10, ~50/50,
 // ~10/90 (chosen so victims run at even, power-of-two and odd node
 // counts).
-var Fig9Splits = []float64{0.9, 0.5, 0.1}
+var Fig9Splits = [...]float64{0.9, 0.5, 0.1}
 
 // Fig9Heatmap runs the Fig. 9 grid on both systems with linear allocation.
 // The paper runs 512-node experiments on 698- and 1024-node machines; the
@@ -85,7 +85,7 @@ var Fig9Splits = []float64{0.9, 0.5, 0.1}
 // interference the experiment studies).
 func Fig9Heatmap(opt Options, set VictimSet) Fig9Result {
 	opt = opt.withDefaults(fig9Defaults)
-	return congestionGrid(opt, Victims(set), placement.Linear, gridSystems(opt.Nodes), Fig9Splits)
+	return congestionGrid(opt, Victims(set), placement.Linear, gridSystems(opt.Nodes), Fig9Splits[:])
 }
 
 // gridSystems builds the Aries and Slingshot machines with the paper's
@@ -204,7 +204,7 @@ func Fig10Distributions(opt Options, set VictimSet, panel string) Fig10Result {
 	res := Fig10Result{Panel: panel}
 	for _, sys := range gridSystems(opt.Nodes) {
 		for _, alloc := range []placement.Policy{placement.Linear, placement.Interleaved, placement.Random} {
-			grid := congestionGrid(opt, Victims(set), alloc, []System{sys}, Fig9Splits)
+			grid := congestionGrid(opt, Victims(set), alloc, []System{sys}, Fig9Splits[:])
 			sample := stats.NewSample(64)
 			max := 0.0
 			for _, row := range grid.Rows {
@@ -252,7 +252,7 @@ type Fig11Result struct {
 }
 
 // Fig11Splits are the aggressor fractions of Fig. 11.
-var Fig11Splits = []float64{0.75, 0.5, 0.25} // victim fractions
+var Fig11Splits = [...]float64{0.75, 0.5, 0.25} // victim fractions
 
 // Fig11FullScale runs the application victims at the largest configured
 // scale with random allocation (the paper: that is the allocation
@@ -260,7 +260,7 @@ var Fig11Splits = []float64{0.75, 0.5, 0.25} // victim fractions
 func Fig11FullScale(opt Options) Fig11Result {
 	opt = opt.withDefaults(fig11Defaults)
 	grid := congestionGrid(opt, Victims(VictimsApps), placement.Random,
-		[]System{Shandy(opt.Nodes)}, Fig11Splits)
+		[]System{Shandy(opt.Nodes)}, Fig11Splits[:])
 	return Fig11Result{Columns: grid.Columns, Rows: grid.Rows}
 }
 

@@ -38,14 +38,14 @@ func init() {
 
 // RoutingNames lists the routing policies policy-compare sweeps, in row
 // order (the registry's four backends).
-var RoutingNames = []string{"minimal", "adaptive", "ecmp", "valiant"}
+var RoutingNames = [...]string{"minimal", "adaptive", "ecmp", "valiant"}
 
 // PolicyCCNames lists the CC backends policy-compare sweeps by default, in
 // row order: the paper's §II-D comparison (Slingshot hardware CC vs the
 // fragile ECN-style loop) plus the delay-based controller. The Aries
 // no-CC baseline is reachable with Options.CC = "none" — it is excluded
 // from the default sweep because uncontrolled incast inflates runtimes.
-var PolicyCCNames = []string{"slingshot", "ecn", "delay"}
+var PolicyCCNames = [...]string{"slingshot", "ecn", "delay"}
 
 // policySystem is topoSystem with the routing policy and CC backend
 // overridden: the same machine, link model and thresholds, only the two
@@ -95,7 +95,7 @@ type PolicyCompareResult struct {
 // a single backend.
 func PolicyCompare(opt Options) (PolicyCompareResult, error) {
 	opt = opt.withDefaults(policyCompareDefaults)
-	topos, routings, ccs := TopoNames, RoutingNames, PolicyCCNames
+	topos, routings, ccs := TopoNames[:], RoutingNames[:], PolicyCCNames[:]
 	if opt.Topo != "" {
 		topos = []string{opt.Topo}
 	}

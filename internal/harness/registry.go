@@ -29,7 +29,7 @@ type Experiment struct {
 	Run func(Options) (*results.Result, error)
 }
 
-var registry = map[string]*Experiment{}
+var registry = map[string]*Experiment{} //simlint:shared -- written only by init-time Register (panics on duplicates); read-only once main starts
 
 // Register adds an experiment to the registry. It panics on a duplicate
 // or empty name — registration happens in init functions, so both are

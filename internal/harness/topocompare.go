@@ -28,7 +28,7 @@ func init() {
 }
 
 // TopoNames lists the backends topo-compare sweeps, in row order.
-var TopoNames = []string{"dragonfly", "fattree", "hyperx"}
+var TopoNames = [...]string{"dragonfly", "fattree", "hyperx"}
 
 // topoSystem builds the comparison system for one backend at the grid's
 // machine scale: the Dragonfly is Shandy with the Slingshot profile, the
@@ -73,7 +73,7 @@ type TopoCompareResult struct {
 // default sweeps all three with the same machine-size headroom as Fig. 9.
 func TopoCompare(opt Options) (TopoCompareResult, error) {
 	opt = opt.withDefaults(topoCompareDefaults)
-	names := TopoNames
+	names := TopoNames[:]
 	if opt.Topo != "" {
 		names = []string{opt.Topo}
 	}
@@ -85,7 +85,7 @@ func TopoCompare(opt Options) (TopoCompareResult, error) {
 		}
 		systems = append(systems, sys)
 	}
-	grid := congestionGrid(opt, topoCompareVictims(), placement.Linear, systems, Fig9Splits)
+	grid := congestionGrid(opt, topoCompareVictims(), placement.Linear, systems, Fig9Splits[:])
 	return TopoCompareResult{Grid: grid}, nil
 }
 

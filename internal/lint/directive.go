@@ -46,7 +46,7 @@ func runDirective(pass *Pass) {
 		spec, known := directiveNames[d.name]
 		switch {
 		case !known:
-			pass.Reportf(d.pos, "known directives: hotpath, sortediter, wallclock, allocok, retained",
+			pass.Reportf(d.pos, "known directives: hotpath, sortediter, wallclock, allocok, retained, shared, rngok",
 				"unknown simlint directive %q", d.name)
 		case spec.needsReason && d.reason == "":
 			pass.Reportf(d.pos, "write //simlint:"+d.name+" -- <why this exception is sound>",

@@ -23,6 +23,8 @@
 //	//simlint:wallclock  -- <why this code may read the host clock>
 //	//simlint:allocok    -- <why this allocation is accepted>
 //	//simlint:retained   -- <why this freed-object reference is safe>
+//	//simlint:shared     -- <why this package-level state may be shared>
+//	//simlint:rngok      -- <why this RNG-stream sharing is sound>
 //	//simlint:hotpath            (on a func decl: opt in to the hotpath analyzer)
 //
 // Every suppression directive requires a ` -- justification`; the
@@ -60,6 +62,10 @@ type Analyzer struct {
 type Diagnostic struct {
 	// Pos locates the violation.
 	Pos token.Position
+	// Pkg is the import path of the package whose analysis produced the
+	// diagnostic (for interprocedural findings, Pos may point into a
+	// dependency's source).
+	Pkg string
 	// Analyzer is the reporting analyzer's name.
 	Analyzer string
 	// Message states the violation.
@@ -88,17 +94,32 @@ type Pass struct {
 
 	dirs  *directiveIndex
 	diags *[]Diagnostic
+
+	// sess is the cross-package fact base of the enclosing run; newly
+	// holds the function names this package's call edges first made
+	// hotpath-reachable (see callgraph.go).
+	sess  *Session
+	newly map[string]bool
 }
 
 // Reportf records a diagnostic at pos unless a matching suppression
 // directive covers that line.
 func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
-	posn := p.Fset.Position(pos)
+	p.reportAt(p.Fset.Position(pos), hint, format, args...)
+}
+
+// reportAt is Reportf for an already-resolved position — possibly in a
+// dependency's source file, where interprocedural findings land. The
+// directive check still runs against the current unit's files (foreign
+// positions carry no suppressions here; theirs were applied when their
+// own package's facts were collected).
+func (p *Pass) reportAt(posn token.Position, hint, format string, args ...any) {
 	if p.Analyzer.Directive != "" && p.dirs.suppresses(p.Analyzer.Directive, posn) {
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      posn,
+		Pkg:      p.Pkg.Path(),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 		Hint:     hint,
@@ -114,6 +135,8 @@ var directiveNames = map[string]struct{ needsReason bool }{
 	"wallclock":  {true},
 	"allocok":    {true},
 	"retained":   {true},
+	"shared":     {true},
+	"rngok":      {true},
 }
 
 // directive is one parsed //simlint: comment.
@@ -216,7 +239,7 @@ func moduleOnly(path string) bool {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, WallTime, HotPath, FreeList, SchedFunc, Directive}
+	return []*Analyzer{MapIter, WallTime, HotPath, Spine, SharedState, RNGStream, FreeList, SchedFunc, Directive}
 }
 
 // ByName resolves a comma-separated analyzer list ("" = all).
@@ -246,44 +269,13 @@ func ByName(names string) ([]*Analyzer, error) {
 
 // RunAnalyzers applies the analyzers to one type-checked package and
 // returns the surviving (undirectived) diagnostics sorted by position.
+// It runs in a fresh single-package Session, so interprocedural
+// analyzers see only this package's own call graph — the fixture-test
+// entry point; multi-package runs thread one Session through
+// Session.RunPackage instead (see Run and vet.go).
 func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 	pkg *types.Package, info *types.Info) []Diagnostic {
-	// Test files are out of scope for every analyzer: the invariants
-	// guard simulation code; tests assert, time out, and iterate maps
-	// freely.
-	kept := files[:0:0]
-	for _, f := range files {
-		if !isTestFile(fset, f) {
-			kept = append(kept, f)
-		}
-	}
-	dirs := parseDirectives(fset, kept)
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		a.Run(&Pass{
-			Analyzer: a,
-			Fset:     fset,
-			Files:    kept,
-			Pkg:      pkg,
-			Info:     info,
-			dirs:     dirs,
-			diags:    &diags,
-		})
-	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
-	return diags
+	return NewSession().RunPackage(analyzers, fset, files, pkg, info)
 }
 
 func isTestFile(fset *token.FileSet, f *ast.File) bool {

@@ -132,11 +132,14 @@ func runFixture(t *testing.T, a *Analyzer, name string) {
 	}
 }
 
-func TestMapIterFixture(t *testing.T)   { runFixture(t, MapIter, "mapiter.go") }
-func TestWallTimeFixture(t *testing.T)  { runFixture(t, WallTime, "walltime.go") }
-func TestHotPathFixture(t *testing.T)   { runFixture(t, HotPath, "hotpath.go") }
-func TestFreeListFixture(t *testing.T)  { runFixture(t, FreeList, "freelist.go") }
-func TestSchedFuncFixture(t *testing.T) { runFixture(t, SchedFunc, "schedfunc.go") }
+func TestMapIterFixture(t *testing.T)     { runFixture(t, MapIter, "mapiter.go") }
+func TestWallTimeFixture(t *testing.T)    { runFixture(t, WallTime, "walltime.go") }
+func TestHotPathFixture(t *testing.T)     { runFixture(t, HotPath, "hotpath.go") }
+func TestFreeListFixture(t *testing.T)    { runFixture(t, FreeList, "freelist.go") }
+func TestSchedFuncFixture(t *testing.T)   { runFixture(t, SchedFunc, "schedfunc.go") }
+func TestSpineFixture(t *testing.T)       { runFixture(t, Spine, "spine.go") }
+func TestSharedStateFixture(t *testing.T) { runFixture(t, SharedState, "sharedstate.go") }
+func TestRNGStreamFixture(t *testing.T)   { runFixture(t, RNGStream, "rngstream.go") }
 
 // TestDirectiveAnalyzer uses explicit expectations: its diagnostics land
 // on the directive comments themselves, where inline want-markers cannot
@@ -168,9 +171,12 @@ func TestDirectiveAnalyzer(t *testing.T) {
 // reads, schedfunc's no map ranges, ...).
 func TestAnalyzersCleanOnEachOther(t *testing.T) {
 	cases := map[string]*Analyzer{
-		"mapiter.go":   MapIter,
-		"walltime.go":  WallTime,
-		"schedfunc.go": SchedFunc,
+		"mapiter.go":     MapIter,
+		"walltime.go":    WallTime,
+		"schedfunc.go":   SchedFunc,
+		"spine.go":       Spine,
+		"sharedstate.go": SharedState,
+		"rngstream.go":   RNGStream,
 	}
 	for name, owner := range cases {
 		fset, files, pkg, info := loadFixture(t, name)

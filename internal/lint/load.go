@@ -87,19 +87,57 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return out, nil
 }
 
-// Check loads the patterns and runs the full analyzer suite, returning
-// every surviving diagnostic. It is the programmatic entry point
-// (benchreport uses it to stamp simlint_clean).
-func Check(dir string, patterns ...string) ([]Diagnostic, error) {
+// Report is a standalone run's outcome: the surviving diagnostics plus
+// the spine inventory (every hotpath-reachable function, sorted) — the
+// list behind `simlint -list-spine` and the spine-size stamp in the
+// perf baseline's meta block.
+type Report struct {
+	Diags []Diagnostic
+	Spine []string
+}
+
+// Run loads the patterns and threads every package, in the dependency
+// order `go list -deps` guarantees, through one fact Session, so the
+// interprocedural analyzers see cross-package call edges exactly as
+// they do under `go vet -vettool`. A whole-module run (the single
+// pattern "./...") additionally checks hotpath-annotation drift, which
+// only a complete call graph can judge.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) (*Report, error) {
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
+	sess := NewSession()
 	var diags []Diagnostic
 	for _, p := range pkgs {
-		diags = append(diags, RunAnalyzers(All(), p.Fset, p.Files, p.Types, p.Info)...)
+		diags = append(diags, sess.RunPackage(analyzers, p.Fset, p.Files, p.Types, p.Info)...)
 	}
-	return diags, nil
+	wholeModule := len(patterns) == 1 && patterns[0] == "./..."
+	if wholeModule && hasAnalyzer(analyzers, Spine) {
+		diags = append(diags, sess.DriftDiags()...)
+	}
+	sortDiags(diags)
+	return &Report{Diags: diags, Spine: sess.SpineList()}, nil
+}
+
+func hasAnalyzer(analyzers []*Analyzer, want *Analyzer) bool {
+	for _, a := range analyzers {
+		if a == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Check loads the patterns and runs the full analyzer suite, returning
+// every surviving diagnostic. It is the programmatic entry point
+// (benchreport uses it to stamp simlint_clean).
+func Check(dir string, patterns ...string) ([]Diagnostic, error) {
+	rep, err := Run(dir, All(), patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Diags, nil
 }
 
 // goList runs `go list -export -deps -json` and decodes the package

@@ -1,7 +1,7 @@
 // mapiter fixture: loaded by the tests under a sim-core package path.
 package fixture
 
-var reg = map[string]int{"a": 1, "b": 2}
+var reg = map[string]int{"a": 1, "b": 2} //simlint:shared -- fixture table, never mutated; only its iteration order is under test
 
 // unordered ranges a map with an order-dependent body: flagged.
 func unordered() string {

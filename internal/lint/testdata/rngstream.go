@@ -1,0 +1,48 @@
+// rngstream fixture: RNG-stream ownership discipline. A stream may live
+// in package state (rule one), cross into a goroutine (rule two), or be
+// aliased into an existing struct (rule three) only with a justification.
+package fixture
+
+import "repro/internal/sim"
+
+//simlint:shared -- fixture: the rngstream analyzer owns this finding
+var globalRNG *sim.RNG // want "package-level var globalRNG holds a \*sim.RNG stream"
+
+// holder owns a stream.
+type holder struct {
+	rng *sim.RNG
+}
+
+// newHolder transfers ownership via a composite literal — the
+// constructor idiom: sanctioned.
+func newHolder(rng *sim.RNG) *holder {
+	return &holder{rng: rng}
+}
+
+// adopt aliases the caller's stream into an existing struct: flagged.
+func (h *holder) adopt(rng *sim.RNG) {
+	h.rng = rng // want "stored into shared state aliases the caller's stream"
+}
+
+// adoptSplit stores a freshly minted stream instead: sanctioned.
+func (h *holder) adoptSplit(rng *sim.RNG) {
+	h.rng = rng.Split()
+}
+
+// spawn leaks a stream into a goroutine by closure capture: flagged.
+func spawn(rng *sim.RNG, done chan struct{}) {
+	go func() {
+		_ = rng.Uint64() // want "captured by a closure launched"
+		close(done)
+	}()
+}
+
+// handoff moves the stream wholly into the goroutine and says so: clean.
+func handoff(rng *sim.RNG, done chan struct{}) {
+	go consume(rng, done) //simlint:rngok -- fixture: ownership moves wholly into the goroutine
+}
+
+func consume(rng *sim.RNG, done chan struct{}) {
+	_ = rng.Uint64()
+	close(done)
+}

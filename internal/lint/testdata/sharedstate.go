@@ -1,0 +1,22 @@
+// sharedstate fixture: package-level mutable state in a sim-core
+// package. Flagged either way it turns mutable — written by package
+// code, or merely of a mutable type another package could write through.
+package fixture
+
+// counter is written by package code: flagged.
+var counter int // want "package-level var counter is written by package code"
+
+func bump() { counter++ }
+
+// table is never written here, but its type lets anyone mutate it:
+// flagged.
+var table = []int{1, 2, 3} // want "package-level var table has mutable type"
+
+// limit and label are immutable-typed and never written: clean.
+var limit = 42
+var label = "fixture"
+
+// excusedTable documents why sharing is sound: clean.
+var excusedTable = []string{"a", "b"} //simlint:shared -- fixture: justified shared state is suppressed
+
+func useTables() int { return table[0] + len(label) + limit + len(excusedTable) }

@@ -1,0 +1,44 @@
+// spine fixture: interprocedural hot-path reachability. spineRoot is the
+// only annotated function; everything it transitively calls — including
+// through the stepper interface seam — joins the spine, and allocating
+// spine members without their own //simlint:hotpath are flagged at the
+// allocation site.
+package fixture
+
+import "fmt"
+
+// stepper is the fixture's dispatch seam: the root calls through the
+// interface, so every in-package implementation joins the spine.
+type stepper interface {
+	step(int) int
+}
+
+//simlint:hotpath
+func spineRoot(s stepper) int {
+	return s.step(format(1)) + excused(2)
+}
+
+// format is directly reachable from the root and calls fmt: flagged.
+func format(x int) int {
+	return len(fmt.Sprintf("x=%d", x)) // want "format is reachable from the hot-path spine"
+}
+
+// tick joins the spine through the stepper interface edge.
+type tick struct{ n int }
+
+func (t *tick) step(x int) int {
+	f := func() int { return t.n + x } // want "reachable from the hot-path spine.*closure capturing"
+	return f()
+}
+
+// excused is reachable and allocates, but the construct is justified, so
+// it never becomes a fact and the spine stays quiet.
+func excused(x int) int {
+	return len(fmt.Sprintf("x=%d", x)) //simlint:allocok -- fixture: justified constructs are filtered at fact collection
+}
+
+// cold is not reachable from any annotated root: allocating freely is
+// fine off the spine.
+func cold(x int) int {
+	return len(fmt.Sprintf("x=%d", x))
+}

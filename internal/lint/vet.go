@@ -11,16 +11,22 @@ package lint
 //     must change when the analyzers change meaningfully, and must not
 //     be "devel" (go rejects it when parsing the build ID).
 //  3. `tool [-json] <dir>/vet.cfg` once per package, where vet.cfg
-//     describes the unit: source files, the import map, and the compiled
-//     export data of every dependency. Dependency-only units arrive with
-//     VetxOnly=true and are not analyzed; every unit must write its
-//     VetxOutput facts file (empty — these analyzers exchange no facts).
+//     describes the unit: source files, the import map, the compiled
+//     export data of every dependency, and (PackageVetx) the facts files
+//     dependencies produced earlier. Dependency-only units arrive with
+//     VetxOnly=true and report no diagnostics, but they still parse,
+//     typecheck and export their call-graph facts — that is what carries
+//     the interprocedural spine/sharedstate information across package
+//     boundaries (see callgraph.go). Each unit's VetxOutput holds the
+//     cumulative fact set (its own package plus everything imported), so
+//     a dependent needs only its direct dependencies' files.
 //
 // Diagnostics go to stderr with exit status 1 (or, under -json, to
 // stdout as a {pkg: {analyzer: [diagnostic]}} tree with exit 0), which
 // is how the go command distinguishes findings from tool failure.
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -29,13 +35,28 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
-// vetVersion is the -V=full version stamp; bump the suffix when analyzer
-// behaviour changes so `go vet` cache entries from older simlint builds
-// are invalidated.
-const vetVersion = "go1.24.0-simlint1"
+// vetVersion is the base of the -V=full version stamp. toolVersion
+// appends a hash of the tool binary itself (mirroring x/tools'
+// unitchecker, which prints the executable's build ID), so `go vet`
+// cache entries never outlive the simlint build that produced them.
+const vetVersion = "go1.24.0-simlint2"
+
+func toolVersion() string {
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		return vetVersion
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return vetVersion
+	}
+	return fmt.Sprintf("%s-%x", vetVersion, h.Sum(nil)[:12])
+}
 
 // vetConfig mirrors the vet.cfg JSON the go command writes for each
 // package unit.
@@ -45,8 +66,10 @@ type vetConfig struct {
 	Dir                       string
 	ImportPath                string
 	GoFiles                   []string
+	ModulePath                string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -65,7 +88,7 @@ func VetTool(args []string, stdout, stderr io.Writer) int {
 		case a == "-V=full" || a == "-V":
 			// First field must equal the executable's basename — the go
 			// command parses this line to build the tool's cache key.
-			fmt.Fprintf(stdout, "%s version %s\n", toolBasename(), vetVersion)
+			fmt.Fprintf(stdout, "%s version %s\n", toolBasename(), toolVersion())
 			return 0
 		case a == "-flags":
 			fmt.Fprintln(stdout, "[]")
@@ -124,14 +147,22 @@ func vetUnit(cfgPath string) (string, []Diagnostic, error) {
 }
 
 func analyzeUnit(cfg *vetConfig) ([]Diagnostic, error) {
-	// Every unit owes the driver its facts file, even dependency-only
-	// ones; these analyzers exchange no facts, so it is always empty.
+	// Every unit owes the driver a facts file. Write an empty one up
+	// front so even failure paths honour the protocol; successful
+	// analysis overwrites it with the real (cumulative) fact set below.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			return nil, err
 		}
 	}
-	if cfg.VetxOnly {
+
+	// The go command also drives vet over the standard-library closure of
+	// the build (as VetxOnly units with an empty ModulePath). Std is
+	// outside every simlint scope and contributes no facts — analyzing it
+	// would drag spine reachability into fmt's own internals and typecheck
+	// all of std on every vet run — so such units get only the empty facts
+	// file written above.
+	if cfg.ModulePath == "" {
 		return nil, nil
 	}
 
@@ -157,6 +188,25 @@ func analyzeUnit(cfg *vetConfig) ([]Diagnostic, error) {
 		return nil, nil // external-test unit: nothing in scope
 	}
 
+	// Seed the session with the dependencies' facts. Each dependency's
+	// vetx is cumulative, so reading the direct entries covers the
+	// transitive call graph.
+	sess := NewSession()
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx { //simlint:sortediter -- keys are sorted before use
+		vetxPaths = append(vetxPaths, path)
+	}
+	sort.Strings(vetxPaths)
+	for _, path := range vetxPaths {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			return nil, fmt.Errorf("reading facts of %s: %w", path, err)
+		}
+		if err := sess.ImportFacts(data); err != nil {
+			return nil, fmt.Errorf("facts of %s: %w", path, err)
+		}
+	}
+
 	imp := exportImporter(fset, func(path string) string {
 		if canonical, ok := cfg.ImportMap[path]; ok {
 			path = canonical
@@ -171,22 +221,44 @@ func analyzeUnit(cfg *vetConfig) ([]Diagnostic, error) {
 		}
 		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
 	}
-	return RunAnalyzers(All(), fset, files, tpkg, info), nil
+
+	// Dependency-only units contribute facts but no diagnostics.
+	analyzers := All()
+	if cfg.VetxOnly {
+		analyzers = nil
+	}
+	diags := sess.RunPackage(analyzers, fset, files, tpkg, info)
+	if cfg.VetxOutput != "" {
+		facts, err := sess.ExportFacts()
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	return diags, nil
 }
 
-// writeJSONDiags emits the unitchecker-compatible -json tree.
-func writeJSONDiags(w io.Writer, pkgID string, diags []Diagnostic) int {
-	type jsonDiag struct {
-		Posn    string `json:"posn"`
-		Message string `json:"message"`
+type jsonDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+func jsonDiagOf(d Diagnostic) jsonDiag {
+	msg := d.Message
+	if d.Hint != "" {
+		msg += " (fix: " + d.Hint + ")"
 	}
+	return jsonDiag{Posn: d.Pos.String(), Message: msg}
+}
+
+// writeJSONDiags emits the unitchecker-compatible -json tree for one vet
+// unit, keyed by the unit ID the driver assigned.
+func writeJSONDiags(w io.Writer, pkgID string, diags []Diagnostic) int {
 	byAnalyzer := map[string][]jsonDiag{}
 	for _, d := range diags {
-		msg := d.Message
-		if d.Hint != "" {
-			msg += " (fix: " + d.Hint + ")"
-		}
-		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{Posn: d.Pos.String(), Message: msg})
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagOf(d))
 	}
 	tree := map[string]map[string][]jsonDiag{pkgID: byAnalyzer}
 	enc := json.NewEncoder(w)
@@ -195,6 +267,24 @@ func writeJSONDiags(w io.Writer, pkgID string, diags []Diagnostic) int {
 		return 2
 	}
 	return 0
+}
+
+// WriteJSON emits the same {pkg: {analyzer: [diagnostic]}} tree for an
+// arbitrary diagnostic set, grouped by the producing package — the
+// standalone `simlint -json` output CI uploads as an artifact.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	tree := map[string]map[string][]jsonDiag{}
+	for _, d := range diags {
+		pkg := tree[d.Pkg]
+		if pkg == nil {
+			pkg = map[string][]jsonDiag{}
+			tree[d.Pkg] = pkg
+		}
+		pkg[d.Analyzer] = append(pkg[d.Analyzer], jsonDiagOf(d))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(tree)
 }
 
 func toolBasename() string {

@@ -1,0 +1,257 @@
+package lint
+
+// End-to-end test of the `go vet -vettool` unit-checker protocol against
+// a throwaway two-package module: the go command's side (vet.cfg units in
+// dependency order, export data, facts files) is reproduced by hand, and
+// the test asserts the interprocedural spine finding crosses the package
+// boundary in both execution modes — standalone (one Session over go
+// list order) and vet units (facts serialized through PackageVetx/
+// VetxOutput) — with identical positions.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTmpModule lays out the fixture module: package b holds an
+// unannotated allocating helper; package a's annotated root calls it
+// across the package boundary. a's test file exercises _test.go
+// filtering inside a vet unit.
+func writeTmpModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.24\n",
+		"b/b.go": `package b
+
+// Helper computes through a tiny capturing closure, the allocation the
+// spine analyzer must attribute across the package boundary.
+func Helper(x int) int {
+	f := func() int { return x + 1 }
+	return f()
+}
+`,
+		"a/a.go": `package a
+
+import "tmpmod/b"
+
+//simlint:hotpath
+func Root() int {
+	return b.Helper(41)
+}
+`,
+		"a/a_test.go": `package a
+
+import "testing"
+
+func TestRoot(t *testing.T) {
+	if Root() != 42 {
+		t.Fatal("root")
+	}
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// wantSpineFinding asserts the cross-package diagnostic: reported while
+// analyzing a, positioned at the closure inside b/b.go.
+func wantSpineFinding(t *testing.T, mode string, found bool, posn, msg string) {
+	t.Helper()
+	if !found {
+		t.Fatalf("%s: no spine diagnostic reported", mode)
+	}
+	if !strings.Contains(posn, filepath.Join("b", "b.go")) {
+		t.Errorf("%s: finding at %s, want a position inside b/b.go", mode, posn)
+	}
+	if !strings.Contains(msg, "tmpmod/b.Helper is reachable from the hot-path spine") {
+		t.Errorf("%s: message %q does not name the unannotated helper", mode, msg)
+	}
+	if !strings.Contains(msg, "closure capturing") {
+		t.Errorf("%s: message %q does not name the allocation construct", mode, msg)
+	}
+}
+
+func TestVetToolProtocolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	dir := writeTmpModule(t)
+
+	// Standalone mode first: one Session over go-list dependency order.
+	rep, err := Run(dir, All(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spineDiags []Diagnostic
+	for _, d := range rep.Diags {
+		if d.Analyzer == "spine" {
+			spineDiags = append(spineDiags, d)
+		} else {
+			t.Errorf("standalone: unexpected %s diagnostic: %v", d.Analyzer, d)
+		}
+	}
+	if len(spineDiags) != 1 {
+		t.Fatalf("standalone: got %d spine diagnostics, want 1: %v", len(spineDiags), spineDiags)
+	}
+	wantSpineFinding(t, "standalone", true, spineDiags[0].Pos.String(), spineDiags[0].Message)
+	if d := spineDiags[0]; d.Pkg != "tmpmod/a" {
+		t.Errorf("standalone: finding attributed to %q, want the root's package tmpmod/a", d.Pkg)
+	}
+	want := []string{"tmpmod/a.Root", "tmpmod/b.Helper"}
+	if strings.Join(rep.Spine, ",") != strings.Join(want, ",") {
+		t.Errorf("standalone spine = %v, want %v", rep.Spine, want)
+	}
+
+	// Vet mode: reproduce the go command's driving sequence by hand.
+	// First the version/flags handshake …
+	var out, errOut bytes.Buffer
+	if code := VetTool([]string{"-V=full"}, &out, &errOut); code != 0 {
+		t.Fatalf("-V=full exit %d, stderr %s", code, errOut.String())
+	}
+	if fields := strings.Fields(out.String()); len(fields) != 3 || fields[1] != "version" {
+		t.Fatalf("-V=full output %q, want \"<name> version <vers>\"", out.String())
+	}
+	out.Reset()
+	if code := VetTool([]string{"-flags"}, &out, &errOut); code != 0 || strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("-flags exit %d output %q", code, out.String())
+	}
+
+	// … then export data for the units, as `go list -export` provides it.
+	pkgs, err := goList(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports := map[string]string{}
+	byPath := map[string]*listPkg{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		byPath[p.ImportPath] = p
+	}
+	if byPath["tmpmod/a"] == nil || byPath["tmpmod/b"] == nil {
+		t.Fatalf("go list did not return both packages: %v", exports)
+	}
+
+	work := t.TempDir()
+	bVetx := filepath.Join(work, "b.vetx")
+	aVetx := filepath.Join(work, "a.vetx")
+	goFiles := func(p *listPkg) []string {
+		var out []string
+		for _, f := range p.GoFiles {
+			out = append(out, filepath.Join(p.Dir, f))
+		}
+		return out
+	}
+	writeCfg := func(name string, cfg vetConfig) string {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(work, name)
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Unit 1: dependency-only b — no diagnostics, but facts exported.
+	bCfg := writeCfg("b.cfg", vetConfig{
+		ID:         "tmpmod/b",
+		Compiler:   "gc",
+		Dir:        byPath["tmpmod/b"].Dir,
+		ImportPath: "tmpmod/b",
+		GoFiles:    goFiles(byPath["tmpmod/b"]),
+		ModulePath: "tmpmod",
+		VetxOnly:   true,
+		VetxOutput: bVetx,
+	})
+	out.Reset()
+	errOut.Reset()
+	if code := VetTool([]string{bCfg}, &out, &errOut); code != 0 {
+		t.Fatalf("unit b exit %d, stderr: %s", code, errOut.String())
+	}
+	bFacts, err := os.ReadFile(bVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(bFacts), "tmpmod/b.Helper") {
+		t.Errorf("b.vetx lacks the Helper fact: %s", bFacts)
+	}
+
+	// Unit 2: a, with the test file merged in (the go command does this)
+	// and b supplied via ImportMap/PackageFile/PackageVetx.
+	aCfg := writeCfg("a.cfg", vetConfig{
+		ID:          "tmpmod/a",
+		Compiler:    "gc",
+		Dir:         byPath["tmpmod/a"].Dir,
+		ImportPath:  "tmpmod/a",
+		GoFiles:     append(goFiles(byPath["tmpmod/a"]), filepath.Join(dir, "a", "a_test.go")),
+		ModulePath:  "tmpmod",
+		ImportMap:   map[string]string{"tmpmod/b": "tmpmod/b"},
+		PackageFile: map[string]string{"tmpmod/b": exports["tmpmod/b"]},
+		PackageVetx: map[string]string{"tmpmod/b": bVetx},
+		VetxOutput:  aVetx,
+	})
+	out.Reset()
+	errOut.Reset()
+	if code := VetTool([]string{"-json", aCfg}, &out, &errOut); code != 0 {
+		t.Fatalf("unit a (-json) exit %d, stderr: %s", code, errOut.String())
+	}
+	var tree map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &tree); err != nil {
+		t.Fatalf("unit a -json output: %v\n%s", err, out.String())
+	}
+	spine := tree["tmpmod/a"]["spine"]
+	if len(spine) != 1 {
+		t.Fatalf("unit a -json: got %d spine findings, want 1: %v", len(spine), tree)
+	}
+	wantSpineFinding(t, "vet", true, spine[0].Posn, spine[0].Message)
+	if spineDiags[0].Pos.String() != spine[0].Posn {
+		t.Errorf("modes disagree on position: standalone %s, vet %s",
+			spineDiags[0].Pos, spine[0].Posn)
+	}
+
+	// a's facts are cumulative: its own package plus b's, so a dependent
+	// of a would need only this one file.
+	aFacts, err := os.ReadFile(aVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged map[string]json.RawMessage
+	if err := json.Unmarshal(aFacts, &merged); err != nil {
+		t.Fatalf("a.vetx: %v", err)
+	}
+	for _, pkg := range []string{"tmpmod/a", "tmpmod/b"} {
+		if _, ok := merged[pkg]; !ok {
+			t.Errorf("a.vetx lacks the cumulative %s facts", pkg)
+		}
+	}
+
+	// Without -json the same unit reports on stderr with exit 1.
+	out.Reset()
+	errOut.Reset()
+	if code := VetTool([]string{aCfg}, &out, &errOut); code != 1 {
+		t.Fatalf("unit a (plain) exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "simlint:spine") {
+		t.Errorf("plain-mode stderr lacks the spine diagnostic: %s", errOut.String())
+	}
+}

@@ -60,9 +60,11 @@ func (j *Job) runPlanSlack(plan []phase, slack int, cb func(at sim.Time)) {
 	var final sim.Time
 
 	var tryAdvance func(r int)
+	//simlint:allocok -- built once per plan execution (collective setup), not per packet
 	post := func(r, k int) {
 		for _, m := range byFrom[k][r] {
 			m := m
+			//simlint:allocok -- one completion callback per planned message; message-level, not packet-level
 			j.Send(m.from, m.to, m.bytes, func(at sim.Time) {
 				sendLeft[k][m.from]--
 				recvLeft[k][m.to]--
@@ -73,6 +75,7 @@ func (j *Job) runPlanSlack(plan []phase, slack int, cb func(at sim.Time)) {
 			})
 		}
 	}
+	//simlint:allocok -- built once per plan execution (collective setup), not per packet
 	tryAdvance = func(r int) {
 		for {
 			// Settle completed phases in order.

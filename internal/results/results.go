@@ -44,6 +44,13 @@ type Meta struct {
 	// (ordinary experiment results); benchreport stamps it on the perf
 	// baseline.
 	SimlintClean *bool `json:"simlint_clean,omitempty"`
+	// SpineFuncs counts the functions simlint's call-graph analysis
+	// proved reachable from the //simlint:hotpath roots at generation
+	// time — the audited per-packet code surface the allocs/unit figures
+	// below cover. A growing spine with flat allocs is broadening
+	// coverage; a shrinking one means hot code fell off the audit.
+	// Zero means the check was not run.
+	SpineFuncs int `json:"spine_funcs,omitempty"`
 }
 
 // Kind discriminates the Value variants.

@@ -85,7 +85,7 @@ type Policy interface {
 // history) never share state across networks built in parallel.
 type Builder func() Policy
 
-var builders = map[string]Builder{}
+var builders = map[string]Builder{} //simlint:shared -- written only by init-time Register (panics on duplicates); read-only once main starts
 
 // Register adds a policy constructor under a name. It panics on a
 // duplicate or empty name — registration happens in init functions, so

@@ -257,7 +257,7 @@ func (f *FatTree) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []Pa
 	}
 	f.pathNodes = f.pathNodes[:0]
 	out := f.outPaths[:0]
-	defer func() { f.outPaths = out[:0] }()
+	defer func() { f.outPaths = out[:0] }() //simlint:allocok -- non-escaping open-coded defer; stays on the stack
 	start := 0
 	if rng != nil {
 		start = rng.Intn(f.edges)

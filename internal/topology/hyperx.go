@@ -168,6 +168,7 @@ func (h *HyperX) MinimalPaths(src, dst SwitchID, max int) []Path {
 	perm := make([]int, 0, len(diff))
 	used := make([]bool, len(diff))
 	var walk func()
+	//simlint:allocok -- recursion over dimension permutations; results are cached per (src,dst) by the fabric's path cache
 	walk = func() {
 		if len(out) >= max {
 			return
@@ -228,7 +229,7 @@ func (h *HyperX) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []Pat
 	}
 	h.pathNodes = h.pathNodes[:0]
 	out := h.outPaths[:0]
-	defer func() { h.outPaths = out[:0] }()
+	defer func() { h.outPaths = out[:0] }() //simlint:allocok -- non-escaping open-coded defer; stays on the stack
 	start := 0
 	if rng != nil {
 		start = rng.Intn(h.sw)

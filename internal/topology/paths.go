@@ -153,7 +153,7 @@ func (d *Dragonfly) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []
 	}
 	d.pathNodes = d.pathNodes[:0]
 	out := d.outPaths[:0]
-	defer func() { d.outPaths = out[:0] }()
+	defer func() { d.outPaths = out[:0] }() //simlint:allocok -- non-escaping open-coded defer; stays on the stack
 	gs, gd := d.GroupOf(src), d.GroupOf(dst)
 	if gs == gd {
 		// Detour via another switch in the same group.
@@ -213,6 +213,7 @@ func (d *Dragonfly) pathViaGroup(src, dst SwitchID, gi GroupID, rng *sim.RNG) Pa
 	if len(in) == 0 || len(outL) == 0 {
 		return nil
 	}
+	//simlint:allocok -- called directly below and never escapes; inlined without a heap closure
 	pick := func(ids []int) Link {
 		i := 0
 		if rng != nil {

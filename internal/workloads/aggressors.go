@@ -99,12 +99,13 @@ func StartAlltoall(j *mpi.Job, msgBytes int64) *Aggressor {
 		}
 		sub := subJobOf(j, set)
 		var round func()
+		//simlint:allocok -- one closure per aggressor group at launch, reused across rounds
 		round = func() {
 			if a.stopped {
 				a.InFlight--
 				return
 			}
-			sub.Alltoall(msgBytes, func(sim.Time) { round() })
+			sub.Alltoall(msgBytes, func(sim.Time) { round() }) //simlint:allocok -- one completion callback per all-to-all round (collective-level)
 		}
 		a.InFlight++
 		round()
