@@ -310,6 +310,19 @@ func BenchmarkTopoBuild(b *testing.B) { bench.TopoBuild(b) }
 // the unit the Fig. 9-14 grids scale by.
 func BenchmarkRunCell(b *testing.B) { bench.RunCell(b) }
 
+// BenchmarkParallelRun streams cross-group traffic over a 4096-endpoint
+// Dragonfly on the domain-sharded engine at worker budgets 1/2/4/8; the
+// decomposition is fixed, so the budgets differ only in wall-clock time.
+func BenchmarkParallelRun(b *testing.B) {
+	for _, d := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("d%d", d), bench.ParallelRun(d))
+	}
+}
+
+// BenchmarkMailboxExchange measures the raw cross-shard mailbox path
+// (post, canonical merge, re-schedule) — 0 allocs/msg in steady state.
+func BenchmarkMailboxExchange(b *testing.B) { bench.MailboxExchange(b) }
+
 // engineTicker drives BenchmarkEngineThroughput through the closure-free
 // Handler interface — the same dispatch path the fabric uses.
 type engineTicker struct{ n, max int }

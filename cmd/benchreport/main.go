@@ -9,7 +9,8 @@
 //	# and exits non-zero when ns/unit regresses past -max-regress.
 //	go run ./cmd/benchreport -baseline BENCH_hotpath.json -out BENCH_new.json
 //
-// Each row reports ns, allocations and bytes per unit (packet / cell),
+// Each row reports ns, allocations and bytes per unit (packet / cell) and
+// the sharded-engine domain budget where one applies (0 = classic engine),
 // and the meta block stamps the git revision, Go toolchain, and whether
 // the simlint source-level invariant gate held (simlint_clean), so
 // successive baselines are directly comparable and attributable. CI runs
@@ -61,7 +62,7 @@ func main() {
 	res.Meta.Rev = gitRev()
 	res.Meta.GoVersion = runtime.Version()
 	res.Meta.SimlintClean, res.Meta.SpineFuncs = simlintClean(os.Stderr)
-	t := res.AddTable("benchmarks", "benchmark", "unit", "iters", "ns/unit", "allocs/unit", "B/unit")
+	t := res.AddTable("benchmarks", "benchmark", "unit", "domains", "iters", "ns/unit", "allocs/unit", "B/unit")
 	start := time.Now()
 	for _, bm := range bench.Suite() {
 		fmt.Fprintf(os.Stderr, "benchreport: running %s...\n", bm.Name)
@@ -69,6 +70,7 @@ func main() {
 		t.Row(
 			results.String(bm.Name),
 			results.String(bm.Unit),
+			results.Int(int64(bm.Domains)),
 			results.Int(int64(r.N)),
 			results.Float(float64(r.T.Nanoseconds())/float64(r.N), 1),
 			results.Float(float64(r.MemAllocs)/float64(r.N), 2),

@@ -12,6 +12,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/sim/par"
 	"repro/internal/topology"
 	"repro/internal/workloads"
 )
@@ -52,7 +53,7 @@ func PacketHotPath(b *testing.B) {
 			post(topology.NodeID(i), topology.NodeID(16+i))
 		}
 	}
-	net.Eng.RunWhile(func() bool { return delivered < b.N })
+	net.RunWhile(func() bool { return delivered < b.N })
 }
 
 // PacketHotPathFatTree is PacketHotPath on the fat-tree backend behind
@@ -89,7 +90,7 @@ func PacketHotPathFatTree(b *testing.B) {
 			post(topology.NodeID(i), topology.NodeID(16+i)) // cross-pod flows
 		}
 	}
-	net.Eng.RunWhile(func() bool { return delivered < b.N })
+	net.RunWhile(func() bool { return delivered < b.N })
 }
 
 // TopoBuild constructs one instance of every backend (a ~64-node
@@ -163,25 +164,134 @@ func RunCell(b *testing.B) {
 	}
 }
 
+// ParallelRun streams cross-group traffic over a 4096-endpoint Dragonfly
+// (16 groups x 16 switches x 16 nodes) on the domain-sharded engine with
+// the given worker budget, counting delivered data packets: ns/op reads
+// as the per-packet cost including the epoch exchange, and comparing the
+// domains=1 row against higher budgets shows the parallel speedup (on a
+// multi-core host; the decomposition makes the numbers identical either
+// way). domains=0 measures the classic single-engine baseline on the same
+// machine shape.
+func ParallelRun(domains int) func(b *testing.B) {
+	return func(b *testing.B) {
+		topo := topology.MustNew(topology.Config{
+			Groups: 16, SwitchesPerGroup: 16, NodesPerSwitch: 16, GlobalPerPair: 2,
+		})
+		prof := fabric.SlingshotProfile()
+		prof.SwitchJitter = false
+		net := fabric.NewSharded(topo, prof, 5, domains)
+		delivered := 0
+		net.Taps.OnPacketDelivered = func(p *fabric.Packet, _ sim.Time) { delivered++ }
+
+		// 2 flows out of every group, each to the diametric group, 4
+		// outstanding 32 KiB eager messages per flow: every domain both
+		// sends and receives cross-domain traffic each epoch.
+		const msgBytes = 32 * 1024
+		npg := 16 * 16
+		b.ReportAllocs()
+		b.ResetTimer()
+		var post func(src, dst topology.NodeID)
+		post = func(src, dst topology.NodeID) {
+			if delivered >= b.N {
+				return
+			}
+			net.Send(src, dst, msgBytes, fabric.SendOpts{
+				NoRendezvous: true,
+				OnDelivered:  func(sim.Time) { post(src, dst) },
+			})
+		}
+		for g := 0; g < 16; g++ {
+			for f := 0; f < 2; f++ {
+				src := topology.NodeID(g*npg + f)
+				dst := topology.NodeID(((g+8)%16)*npg + f)
+				for w := 0; w < 4; w++ {
+					post(src, dst)
+				}
+			}
+		}
+		net.RunWhile(func() bool { return delivered < b.N })
+	}
+}
+
+// mailboxBounce forwards each received event to the peer shard one
+// lookahead later — the minimal cross-shard workload.
+type mailboxBounce struct {
+	self, peer *par.Shard
+	to         sim.Handler
+	look       sim.Time
+	left       *int
+}
+
+func (h *mailboxBounce) OnEvent(e *sim.Engine, _ *sim.Event) {
+	if *h.left <= 0 {
+		return
+	}
+	*h.left--
+	h.self.Post(h.peer, e.Now()+h.look, h.to, 0, nil)
+}
+
+// MailboxExchange measures the raw cross-shard mailbox path in isolation:
+// two shards bounce a window of 64 events back and forth, so every epoch
+// posts, drains, sorts and re-schedules 64 messages. ns/op is the
+// amortized per-message exchange cost (mailbox append, canonical merge,
+// engine scheduling, epoch overhead); allocs/op pins the 0-alloc
+// steady-state contract of the exchange path.
+func MailboxExchange(b *testing.B) {
+	const look = 150 * sim.Nanosecond
+	e0, e1 := sim.NewEngine(), sim.NewEngine()
+	s0, s1 := par.NewShard(0, e0, 2), par.NewShard(1, e1, 2)
+	h0 := &mailboxBounce{self: s0, peer: s1, look: look}
+	h1 := &mailboxBounce{self: s1, peer: s0, look: look, to: h0}
+	h0.to = h1
+	c := par.New([]*par.Shard{s0, s1}, nil, look, 1)
+	left := 0
+	h0.left, h1.left = &left, &left
+
+	// Warm the mailboxes and free-lists so b.N measures steady state.
+	const window = 64
+	kick := func() {
+		for i := 0; i < window; i++ {
+			e0.Schedule(e0.Now()+look, h0, 0, nil)
+		}
+	}
+	left = window
+	kick()
+	c.Run()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	left = b.N
+	kick()
+	c.Run()
+}
+
 // Suite lists the hot-path benchmarks cmd/benchreport runs, with the unit
-// one iteration corresponds to.
+// one iteration corresponds to and, for the sharded-engine rows, the
+// domain worker budget (0 = classic engine).
 func Suite() []struct {
-	Name string
-	Unit string
-	Fn   func(*testing.B)
+	Name    string
+	Unit    string
+	Domains int
+	Fn      func(*testing.B)
 } {
 	return []struct {
-		Name string
-		Unit string
-		Fn   func(*testing.B)
+		Name    string
+		Unit    string
+		Domains int
+		Fn      func(*testing.B)
 	}{
-		{"PacketHotPath", "packet", PacketHotPath},
-		{"PacketHotPathFatTree", "packet", PacketHotPathFatTree},
-		{"ChoosePath/minimal", "decision", ChoosePath("minimal")},
-		{"ChoosePath/adaptive", "decision", ChoosePath("adaptive")},
-		{"ChoosePath/ecmp", "decision", ChoosePath("ecmp")},
-		{"ChoosePath/valiant", "decision", ChoosePath("valiant")},
-		{"TopoBuild", "build(x3)", TopoBuild},
-		{"RunCell", "cell", RunCell},
+		{"PacketHotPath", "packet", 0, PacketHotPath},
+		{"PacketHotPathFatTree", "packet", 0, PacketHotPathFatTree},
+		{"ChoosePath/minimal", "decision", 0, ChoosePath("minimal")},
+		{"ChoosePath/adaptive", "decision", 0, ChoosePath("adaptive")},
+		{"ChoosePath/ecmp", "decision", 0, ChoosePath("ecmp")},
+		{"ChoosePath/valiant", "decision", 0, ChoosePath("valiant")},
+		{"TopoBuild", "build(x3)", 0, TopoBuild},
+		{"RunCell", "cell", 0, RunCell},
+		{"MailboxExchange", "msg", 0, MailboxExchange},
+		{"ParallelRun/d1", "packet", 1, ParallelRun(1)},
+		{"ParallelRun/d2", "packet", 2, ParallelRun(2)},
+		{"ParallelRun/d4", "packet", 4, ParallelRun(4)},
+		{"ParallelRun/d8", "packet", 8, ParallelRun(8)},
 	}
 }

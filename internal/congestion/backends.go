@@ -24,17 +24,22 @@ type pairState struct {
 }
 
 // base carries the state and mechanics common to every backend: the
-// per-destination pair map, window admission, outstanding-byte accounting
-// and pacing. Algorithms embed it and differ only in how OnAck/OnSignal
-// move the window and pace gap.
+// per-destination pair table, window admission, outstanding-byte
+// accounting and pacing. Algorithms embed it and differ only in how
+// OnAck/OnSignal move the window and pace gap.
+//
+// The pair table is a lazily-grown slice indexed by destination node ID
+// (the PR-2 scheme the NIC queues use): one NIC talks to a bounded set of
+// peers, rows allocate on first contact, and the steady-state lookup is a
+// bounds check plus a load — no map on the CC spine.
 type base struct {
 	p     Params
-	pairs map[topology.NodeID]*pairState
+	pairs []*pairState
 	stats Stats
 }
 
 func newBase(p Params) base {
-	return base{p: p, pairs: make(map[topology.NodeID]*pairState)}
+	return base{p: p}
 }
 
 // Params returns the controller's tuning.
@@ -43,10 +48,16 @@ func (c *base) Params() Params { return c.p }
 // Stats exposes the reaction counters.
 func (c *base) Stats() *Stats { return &c.stats }
 
+//simlint:hotpath
 func (c *base) pair(dst topology.NodeID) *pairState {
+	if int(dst) >= len(c.pairs) {
+		grown := make([]*pairState, dst+1) //simlint:allocok -- first contact with a new highest destination; steady state hits the fast path
+		copy(grown, c.pairs)
+		c.pairs = grown
+	}
 	ps := c.pairs[dst]
 	if ps == nil {
-		ps = &pairState{window: c.p.InitialWindow, lastSignal: -sim.Forever / 2, lastCut: -sim.Forever / 2}
+		ps = &pairState{window: c.p.InitialWindow, lastSignal: -sim.Forever / 2, lastCut: -sim.Forever / 2} //simlint:allocok -- one-time per-destination state
 		c.pairs[dst] = ps
 	}
 	return ps
@@ -93,8 +104,10 @@ func (c *base) ackSettle(dst topology.NodeID, bytes int64) *pairState {
 
 // Outstanding returns the in-flight bytes to dst.
 func (c *base) Outstanding(dst topology.NodeID) int64 {
-	if ps := c.pairs[dst]; ps != nil {
-		return ps.outstanding
+	if int(dst) < len(c.pairs) {
+		if ps := c.pairs[dst]; ps != nil {
+			return ps.outstanding
+		}
 	}
 	return 0
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/rosetta"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/sim/par"
 	"repro/internal/topology"
 )
 
@@ -43,12 +44,6 @@ type Network struct {
 	// hooks (congestion.Hooks), so the per-packet enqueue path reads two
 	// bools instead of dispatching on the controller.
 	wantSignals, wantECN bool
-	// pktFree is a deterministic free-list recycling Packet structs: a
-	// packet is released when it terminates at the destination NIC and
-	// reused for the next injection (the simulator is single-threaded, so
-	// no sync.Pool). Packet pointers must not be retained past the
-	// delivery tap.
-	pktFree []*Packet
 	// minPaths lazily caches Topo.MinimalPaths(src, dst, 4), row by
 	// source switch: minPaths[src][dst]. Rows allocate on the first packet
 	// routed from that source, so a large fabric pays O(sources actually
@@ -57,21 +52,41 @@ type Network struct {
 	// cannot perturb replay; it removes the per-packet path-construction
 	// allocations from adaptive routing. The cached paths are shared (they
 	// are handed to every routing decision) and must never be mutated.
+	// The outer slice is sized at build; rows are faulted only by the
+	// domain owning the source switch, so sharded fabrics never race on it.
 	minPaths [][][]topology.Path
 
-	// Stats.
-	PacketsDelivered int64
-	BytesDelivered   int64
-	Signals          int64 // Slingshot back-pressure notifications emitted
-	Overdrafts       int64 // deadlock-escape credit grants (should be ~0)
-	LLRRetries       int64 // link-level retransmissions (FrameBER > 0)
-	FramesLost       int64 // frames lost on links without LLR
-	E2ERetries       int64 // NIC end-to-end retransmissions
+	// Sharding state (see domain.go). doms always has at least the one
+	// classic domain; par is nil in classic mode.
+	doms []*domain
+	par  *par.Coordinator
+	// snap/snapOff are the epoch-start remote-load snapshot: one slot per
+	// (switch, dense neighbor index), refreshed by each switch's owning
+	// domain at the epoch drain barrier.
+	snap    []int64
+	snapOff []int32
+	defrBuf defrMerge
+
+	// Stats. The embedded Counters promote, so n.PacketsDelivered etc.
+	// read as before; sharded runs fold per-domain blocks in here at each
+	// epoch barrier.
+	Counters
 }
 
-// New builds a network over the given topology with the given profile.
-// seed makes the run reproducible.
+// New builds a classic (single-threaded) network over the given topology
+// with the given profile. seed makes the run reproducible.
 func New(topo topology.Topology, prof Profile, seed uint64) *Network {
+	return NewSharded(topo, prof, seed, 0)
+}
+
+// NewSharded builds a network split into the topology's natural domains
+// (Dragonfly groups, fat-tree pods, HyperX dim-0 rows) and driven by
+// conservative lock-step epochs with up to `domains` parallel workers.
+// domains <= 0 builds the classic single-threaded network (the exact
+// pre-sharding event flow). The decomposition is the topology's — never
+// the worker count's — so every sharded run of one configuration is
+// byte-identical for any domains >= 1, including 1.
+func NewSharded(topo topology.Topology, prof Profile, seed uint64, domains int) *Network {
 	qcfg := prof.QoS
 	if qcfg == nil {
 		qcfg = qos.DefaultConfig()
@@ -88,6 +103,11 @@ func New(topo topology.Topology, prof Profile, seed uint64) *Network {
 		policy: prof.routingBuilder()(),
 	}
 	n.build()
+	if domains <= 0 {
+		n.initClassic()
+	} else {
+		n.initDomains(domains)
+	}
 	return n
 }
 
@@ -104,6 +124,9 @@ func NewFromProfile(prof Profile, seed uint64) *Network {
 func (n *Network) build() {
 	topo := n.Topo
 	prof := &n.Prof
+	// The outer cache spine is sized here so sharded domains fault rows
+	// concurrently without ever touching a shared lazy allocation.
+	n.minPaths = make([][][]topology.Path, topo.Switches())
 	n.switches = make([]*Switch, topo.Switches())
 	for i := range n.switches {
 		rng := n.rng.Split()
@@ -210,27 +233,6 @@ func (n *Network) build() {
 	}
 }
 
-// allocPacket returns a zeroed packet from the free-list (or a fresh one).
-func (n *Network) allocPacket() *Packet {
-	if k := len(n.pktFree); k > 0 {
-		p := n.pktFree[k-1]
-		n.pktFree[k-1] = nil
-		n.pktFree = n.pktFree[:k-1]
-		return p
-	}
-	return &Packet{}
-}
-
-// freePacket recycles a terminated packet. Callers must guarantee no live
-// references remain (delivery taps run before release and must not retain
-// the packet). The struct is zeroed here, not at alloc, so idle free-list
-// entries do not pin their last Message (and its completion closures) or
-// Path.
-func (n *Network) freePacket(p *Packet) {
-	*p = Packet{}
-	n.pktFree = append(n.pktFree, p) //simlint:retained -- this IS the packet free-list: the one sanctioned retention point (see freelist analyzer)
-}
-
 // SendOpts configures one message.
 type SendOpts struct {
 	// Class is the traffic-class index into the QoS config.
@@ -320,22 +322,26 @@ func (n *Network) route(s *Switch, srcNode, dstNode topology.NodeID, flowID int6
 	if cb := n.QoS.Classes[class].MinimalBias; cb > 1 {
 		bias *= cb
 	}
+	// The load view and path arena are the source switch's domain: its
+	// own queues read live, remote ones off the epoch snapshot (in classic
+	// mode the one domain owns everything, so every read is live — the
+	// pre-sharding behaviour).
 	return n.policy.Choose(n.Topo, routing.Context{
 		Src: src, Dst: dst,
 		SrcNode: srcNode, DstNode: dstNode,
 		FlowID: flowID, Class: class,
 		MinimalBias: bias,
 		RouteNoise:  n.Prof.RouteNoise,
-	}, n.minimalPaths(src, dst), n, s.rng)
+		Arena:       &s.dom.arena,
+	}, n.minimalPaths(src, dst), s.dom, s.rng)
 }
 
 // minimalPaths returns the cached minimal-path candidates between two
 // distinct switches, computing them on first use. Rows are per source
-// switch and lazily allocated.
+// switch and lazily allocated — only ever by the domain owning the source
+// switch (routing runs at the source switch; the quiet-RTT oracle runs in
+// the source NIC's domain), so concurrent domains touch disjoint rows.
 func (n *Network) minimalPaths(src, dst topology.SwitchID) []topology.Path {
-	if n.minPaths == nil {
-		n.minPaths = make([][][]topology.Path, n.Topo.Switches())
-	}
 	row := n.minPaths[src]
 	if row == nil {
 		row = make([][]topology.Path, n.Topo.Switches())
@@ -452,7 +458,7 @@ func (n *Network) QueuedAtEdge(node topology.NodeID) int64 {
 }
 
 // RunFor advances the simulation by d.
-func (n *Network) RunFor(d sim.Time) { n.Eng.RunUntil(n.Eng.Now() + d) }
+func (n *Network) RunFor(d sim.Time) { n.RunUntil(n.Eng.Now() + d) }
 
 // Now returns the current simulated time.
 func (n *Network) Now() sim.Time { return n.Eng.Now() }

@@ -11,6 +11,9 @@ import (
 // injection port into its switch.
 type NIC struct {
 	net *Network
+	// dom is the NIC's owning domain (its switch's domain); all NIC-side
+	// event scheduling and clock reads go through it.
+	dom *domain
 	ID  topology.NodeID
 	cc  congestion.Controller
 	inj *outPort
@@ -93,8 +96,10 @@ func (h *msgSelfDeliver) OnEvent(e *sim.Engine, _ *sim.Event) {
 	}
 }
 
-// nicGrantCTS (receiver-side) completes the rendezvous handshake for the
-// message in Data: the receive buffer is ready, so the source may stream.
+// nicGrantCTS (source-side) completes the rendezvous handshake for the
+// message in Data: the receive buffer is ready, so this source may
+// stream. The receiver schedules it on the source NIC — handshake state
+// (dataReady) and the pump it wakes are both source-side.
 type nicGrantCTS NIC
 
 //simlint:hotpath
@@ -102,12 +107,22 @@ func (h *nicGrantCTS) OnEvent(_ *sim.Engine, ev *sim.Event) {
 	n := (*NIC)(h)
 	m := ev.Data.(*Message)
 	m.dataReady = true
-	n.net.nics[m.Src].pump()
+	n.pump()
 }
 
-// nicAck (source-side) lands one end-to-end ack for the message in Data.
-// Arg packs the acked buffer bytes (<<1) with the ECN mark in bit 0; the
-// RTT sample rides the message's ackRTT word (set at delivery).
+// The end-to-end ack's event Arg packs its sample: the RTT above
+// ackRTTShift (sharded mode only; classic reads the message's ackRTT
+// word, see deliver), the acked buffer bytes in the middle field, the
+// ECN mark in bit 0. Buffer bytes top out at MaxPayload+RoCEHeaders
+// (~4.2 KB), far inside the 20-bit field; the RTT field holds ~4.4
+// simulated seconds.
+const (
+	ackRTTShift  = 21
+	ackBytesMask = (1 << 20) - 1
+)
+
+// nicAck (source-side) lands one end-to-end ack for the message in Data;
+// Arg carries the packed sample (see ackRTTShift).
 type nicAck NIC
 
 //simlint:hotpath
@@ -115,10 +130,18 @@ func (h *nicAck) OnEvent(e *sim.Engine, ev *sim.Event) {
 	src := (*NIC)(h)
 	m := ev.Data.(*Message)
 	now := e.Now()
-	src.cc.OnAck(m.Dst, ev.Arg>>1, ev.Arg&1 != 0, m.ackRTT, now)
+	rtt := sim.Time(ev.Arg >> ackRTTShift)
+	if src.dom.sh == nil {
+		rtt = m.ackRTT
+	}
+	src.cc.OnAck(m.Dst, (ev.Arg>>1)&ackBytesMask, ev.Arg&1 != 0, rtt, now)
 	m.acked++
 	if m.acked >= m.numPackets && m.OnAcked != nil {
-		m.OnAcked(now)
+		if src.dom.sh != nil {
+			src.dom.deferCall(now, m.OnAcked)
+		} else {
+			m.OnAcked(now)
+		}
 	}
 	src.pump()
 }
@@ -195,9 +218,12 @@ func (n *NIC) submit(m *Message) {
 
 // pump moves packets from the per-destination message queues into the
 // injection port, subject to host readiness, the rendezvous handshake and
-// the congestion-control window/pacing.
+// the congestion-control window/pacing. The clock is the domain's: when a
+// control-side submit pumps a sharded NIC between epochs, injection
+// quantizes to the current epoch boundary — identically for any worker
+// count.
 func (n *NIC) pump() {
-	now := n.net.Eng.Now()
+	now := n.dom.eng.Now()
 	var earliest sim.Time
 	for n.inj.sched.Len() < injDepth {
 		p, retry := n.nextPacket(now)
@@ -235,9 +261,9 @@ func (n *NIC) schedulePump(at sim.Time) {
 		if n.pumpEv.At <= at {
 			return
 		}
-		n.net.Eng.Cancel(n.pumpEv)
+		n.dom.eng.Cancel(n.pumpEv)
 	}
-	n.pumpEv = n.net.Eng.Schedule(at, (*nicPump)(n), 0, nil)
+	n.pumpEv = n.dom.eng.Schedule(at, (*nicPump)(n), 0, nil)
 }
 
 // nextPacket selects the next injectable packet, round-robin over active
@@ -259,7 +285,7 @@ func (n *NIC) nextPacket(now sim.Time) (*Packet, sim.Time) {
 			if mj.Rendezvous && !mj.rtsSent && now >= mj.hostReady {
 				mj.rtsSent = true
 				n.rr = (idx + 1) % len(n.order)
-				p := n.net.allocPacket()
+				p := n.dom.allocPacket()
 				p.Msg, p.Class, p.ctrl, p.sentAt = mj, mj.Class, true, now
 				return p, 0
 			}
@@ -302,7 +328,7 @@ func (n *NIC) nextPacket(now sim.Time) (*Packet, sim.Time) {
 			continue
 		}
 		n.cc.OnSend(dst, size, now)
-		p := n.net.allocPacket()
+		p := n.dom.allocPacket()
 		p.Msg, p.Seq, p.Payload, p.Class, p.sentAt = m, m.nextSeq, int(size), m.Class, now
 		m.nextSeq++
 		if m.nextSeq >= m.numPackets {
@@ -346,22 +372,24 @@ func (n *NIC) retransmit(p *Packet) {
 	p.hop = 0
 	p.inPort = nil
 	p.ecnMarked = false
-	p.sentAt = n.net.Eng.Now()
+	p.sentAt = n.dom.eng.Now()
 	n.inj.sched.Enqueue(p.Class, int(bufBytes(p)), p)
 	n.inj.pump()
 }
 
 // deliver receives a packet off the edge link. The packet terminates
-// here: it is recycled onto the network's free-list once the taps and ack
+// here: it is recycled onto the domain's free-list once the taps and ack
 // scheduling have run, so taps must not retain it.
 func (n *NIC) deliver(p *Packet) {
-	now := n.net.Eng.Now()
+	now := n.dom.eng.Now()
 	m := p.Msg
 	if p.ctrl {
 		// RTS arrived: set up the receive buffer (rendezvousSetup), then
-		// grant the transfer. The CTS rides the ack path.
-		n.net.Eng.After(rendezvousSetup+n.net.revLatency(p.Path), (*nicGrantCTS)(n), 0, m)
-		n.net.freePacket(p)
+		// grant the transfer. The CTS rides the ack path back to the
+		// source NIC (handshake state and the pump are source-side).
+		src := n.net.nics[m.Src]
+		n.dom.post(src.dom, now+rendezvousSetup+n.net.revLatency(p.Path), (*nicGrantCTS)(src), 0, m)
+		n.dom.freePacket(p)
 		return
 	}
 	if !m.markDelivered(p.Seq) {
@@ -373,32 +401,50 @@ func (n *NIC) deliver(p *Packet) {
 		return
 	}
 	m.delivered++
-	n.net.PacketsDelivered++
-	n.net.BytesDelivered += int64(p.Payload)
+	n.dom.ctr.PacketsDelivered++
+	n.dom.ctr.BytesDelivered += int64(p.Payload)
 	if tap := n.net.Taps.OnPacketDelivered; tap != nil {
-		tap(p, now)
+		// Sharded, taps are measurement/control code: they run at the
+		// epoch barrier, on a copy (the packet recycles right below), in
+		// canonical order.
+		if n.dom.sh != nil {
+			n.dom.deferTap(now, p)
+		} else {
+			tap(p, now)
+		}
 	}
 	if m.delivered >= m.numPackets {
 		m.DeliveredAt = now
 		n.MsgsDelivered++
 		if m.OnDelivered != nil {
-			m.OnDelivered(now)
+			if n.dom.sh != nil {
+				n.dom.deferCall(now, m.OnDelivered)
+			} else {
+				m.OnDelivered(now)
+			}
 		}
 	}
 	// End-to-end acknowledgement back to the source (§II-A: End-to-End
 	// Acks crossbar; they track outstanding packets between every pair of
 	// endpoints). The ack's size and ECN mark pack into the event's Arg
-	// word because the packet struct is recycled right below; the RTT
+	// word because the packet struct is recycled right below. The RTT
 	// sample — injection to ack arrival, the signal delay-based CC feeds
-	// on — rides the message (overlapping deliveries overwrite it with a
-	// fresher sample, which is fine for a rate controller).
+	// on — rides the message in classic mode (overlapping deliveries
+	// overwrite it with a fresher sample, which is fine for a rate
+	// controller and is what the goldens pin); sharded, the ack may cross
+	// domains mid-epoch, so the per-packet sample packs into Arg instead
+	// of racing through the message.
 	src := n.net.nics[m.Src]
 	arg := bufBytes(p) << 1
 	if p.ecnMarked {
 		arg |= 1
 	}
 	rev := n.net.revLatency(p.Path)
-	m.ackRTT = now + rev - p.sentAt
-	n.net.Eng.After(rev, (*nicAck)(src), arg, m)
-	n.net.freePacket(p)
+	if n.dom.sh == nil {
+		m.ackRTT = now + rev - p.sentAt
+	} else {
+		arg |= int64(now+rev-p.sentAt) << ackRTTShift
+	}
+	n.dom.post(src.dom, now+rev, (*nicAck)(src), arg, m)
+	n.dom.freePacket(p)
 }

@@ -60,7 +60,9 @@ type Message struct {
 	seen      []uint64
 	// ackRTT is the latest packet's injection-to-ack round-trip sample,
 	// set when the delivery schedules the ack and consumed by the source
-	// NIC's congestion controller (delay-based CC, §II-D).
+	// NIC's congestion controller (delay-based CC, §II-D). Classic mode
+	// only: sharded fabrics pack the sample into the ack event's Arg word
+	// (the delivery and the ack run in different domains).
 	ackRTT sim.Time
 
 	SubmittedAt sim.Time

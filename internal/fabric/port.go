@@ -19,7 +19,10 @@ func bufBytes(p *Packet) int64 {
 // (a per-traffic-class DRR scheduler), the busy/serialization state, and
 // the credit count representing free space in the peer's input buffer.
 type outPort struct {
-	net   *Network
+	net *Network
+	// dom is the owning domain: the transmitting switch's (or, for an
+	// injection port, the transmitting NIC's).
+	dom   *domain
 	sched *qos.PortScheduler
 	bits  int64
 	prop  sim.Time
@@ -113,7 +116,7 @@ func (h *portWatchdog) OnEvent(_ *sim.Engine, _ *sim.Event) {
 	// Still starved: grant an overdraft credit for one packet so the
 	// fabric cannot wedge (virtual-channel escape equivalent).
 	if o.peerSw != nil && o.credits < int64(ethernet.MaxPayload+ethernet.RoCEHeaders) {
-		o.net.Overdrafts++
+		o.dom.ctr.Overdrafts++
 		o.credits += int64(ethernet.MaxPayload + ethernet.RoCEHeaders)
 	}
 	o.pump()
@@ -125,7 +128,7 @@ func (o *outPort) pump() {
 	if o.busy || o.sched.Len() == 0 {
 		return
 	}
-	now := o.net.Eng.Now()
+	now := o.dom.eng.Now()
 	max := o.credits
 	if o.peerNIC != nil {
 		max = creditUnlimited
@@ -133,7 +136,7 @@ func (o *outPort) pump() {
 	v, _, _, ok, retry := o.sched.Dequeue(now, clampInt(max))
 	if !ok {
 		if retry > 0 && o.retryEv == nil {
-			o.retryEv = o.net.Eng.Schedule(retry, (*portRetryPump)(o), 0, nil)
+			o.retryEv = o.dom.eng.Schedule(retry, (*portRetryPump)(o), 0, nil)
 		}
 		if retry == 0 && o.peerSw != nil && o.credits < o.sched.TotalQueuedBytes() {
 			o.armWatchdog(now)
@@ -178,9 +181,12 @@ func (o *outPort) transmit(p *Packet, now sim.Time) {
 	o.TxBytes += size
 
 	// Departing the current element frees the upstream input-buffer space
-	// this packet was holding; the credit travels one reverse hop.
+	// this packet was holding; the credit travels one reverse hop. A
+	// cross-domain upstream hop is a partition-cut link — optical in all
+	// three decompositions — so its propagation is the full lookahead and
+	// the post always clears the epoch fence.
 	if ip := p.inPort; ip != nil {
-		o.net.Eng.After(ip.prop, (*portCreditReturn)(ip), size, nil)
+		o.dom.post(ip.dom, now+ip.prop, (*portCreditReturn)(ip), size, nil)
 	}
 	p.inPort = o
 
@@ -196,43 +202,47 @@ func (o *outPort) transmit(p *Packet, now sim.Time) {
 		for o.rng.Float64() < ber {
 			if !o.net.Prof.LLR {
 				lost = true
-				o.net.FramesLost++
+				o.dom.ctr.FramesLost++
 				break
 			}
-			o.net.LLRRetries++
+			o.dom.ctr.LLRRetries++
 			occupancy += o.phy.LLRDelay + ser
 		}
 	}
 
-	o.net.Eng.After(occupancy, (*portTxDone)(o), 0, nil)
+	o.dom.eng.After(occupancy, (*portTxDone)(o), 0, nil)
 	if lost {
-		o.loseFrame(p, size, occupancy)
+		o.loseFrame(p, size, occupancy, now)
 		return
 	}
+	// A cross-domain arrival crosses a partition-cut (optical) link, so
+	// occupancy + propagation is beyond the lookahead window.
 	arrival := occupancy + o.prop + phy.FECLatency
 	switch {
 	case o.peerSw != nil:
-		o.net.Eng.After(arrival, (*switchArrive)(o.peerSw), 0, p)
+		o.dom.post(o.peerSw.dom, now+arrival, (*switchArrive)(o.peerSw), 0, p)
 	default:
-		o.net.Eng.After(arrival+o.net.Prof.NICLatency, (*nicDeliver)(o.peerNIC), 0, p)
+		o.dom.eng.After(arrival+o.net.Prof.NICLatency, (*nicDeliver)(o.peerNIC), 0, p)
 	}
 }
 
 // loseFrame handles an unrecovered link error: the reserved downstream
 // buffer space returns, and the source NIC retransmits the packet after
 // its end-to-end retry timeout (§II-F: "the SLINGSHOT NIC provides
-// end-to-end retry to protect against packet loss").
-func (o *outPort) loseFrame(p *Packet, size int64, after sim.Time) {
+// end-to-end retry to protect against packet loss"). The lost packet
+// migrates to the source NIC's domain for re-injection (and, with it,
+// between domain free-lists).
+func (o *outPort) loseFrame(p *Packet, size int64, after, now sim.Time) {
 	if o.peerSw != nil {
-		o.net.Eng.After(after+o.prop, (*portCreditReturn)(o), size, nil)
+		o.dom.eng.After(after+o.prop, (*portCreditReturn)(o), size, nil)
 	}
 	src := o.net.nics[p.Msg.Src]
 	timeout := o.net.Prof.RetryTimeout
 	if timeout <= 0 {
 		timeout = 50 * sim.Microsecond
 	}
-	o.net.E2ERetries++
-	o.net.Eng.After(after+timeout, (*nicRetransmit)(src), 0, p)
+	o.dom.ctr.E2ERetries++
+	o.dom.post(src.dom, now+after+timeout, (*nicRetransmit)(src), 0, p)
 }
 
 // armWatchdog schedules the deadlock-escape overdraft.
@@ -241,12 +251,12 @@ func (o *outPort) armWatchdog(now sim.Time) {
 		return
 	}
 	o.blockedSince = now
-	o.watchdogEv = o.net.Eng.Schedule(now+watchdogDelay, (*portWatchdog)(o), 0, nil)
+	o.watchdogEv = o.dom.eng.Schedule(now+watchdogDelay, (*portWatchdog)(o), 0, nil)
 }
 
 func (o *outPort) disarmWatchdog() {
 	if o.watchdogEv != nil {
-		o.net.Eng.Cancel(o.watchdogEv)
+		o.dom.eng.Cancel(o.watchdogEv)
 		o.watchdogEv = nil
 	}
 }

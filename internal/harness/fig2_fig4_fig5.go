@@ -57,6 +57,7 @@ type Fig2Result struct {
 func Fig2SwitchLatency(opt Options) Fig2Result {
 	opt = opt.withDefaults(fig2Defaults)
 	sys := Shandy(opt.Nodes)
+	sys.Domains = opt.Domains
 	net := sys.build(opt.Seed)
 	nps := sys.Topo.NodesPerSwitch
 
@@ -64,7 +65,7 @@ func Fig2SwitchLatency(opt Options) Fig2Result {
 		start := net.Now()
 		var done sim.Time
 		net.Send(src, dst, 8, fabric.SendOpts{OnDelivered: func(at sim.Time) { done = at }})
-		net.Eng.RunWhile(func() bool { return done == 0 })
+		net.RunWhile(func() bool { return done == 0 })
 		return done - start
 	}
 
@@ -124,6 +125,7 @@ var Fig4Sizes = [...]int64{8, 1024, 128 * 1024, 4 * 1024 * 1024}
 func Fig4Distance(opt Options) Fig4Result {
 	opt = opt.withDefaults(fig4Defaults)
 	sys := Shandy(opt.Nodes)
+	sys.Domains = opt.Domains
 	nps := sys.Topo.NodesPerSwitch
 	npg := nps * sys.Topo.SwitchesPerGroup
 	dists := []struct {
@@ -145,7 +147,7 @@ func Fig4Distance(opt Options) Fig4Result {
 			points = append(points, point{d.name, d.dst, size})
 		}
 	}
-	rows := parallelMap(opt.Jobs, points, func(p point) Fig4Row {
+	rows := parallelMap(opt.gridJobs(), points, func(p point) Fig4Row {
 		// Fresh network per point keeps points independent.
 		net := sys.build(opt.Seed)
 		lat := stats.NewSample(opt.MaxIters)
@@ -154,7 +156,7 @@ func Fig4Distance(opt Options) Fig4Result {
 			var done sim.Time
 			net.Send(0, topology.NodeID(p.dst), p.size,
 				fabric.SendOpts{OnDelivered: func(at sim.Time) { done = at }})
-			net.Eng.RunWhile(func() bool { return done == 0 })
+			net.RunWhile(func() bool { return done == 0 })
 			lat.Add((done - start).Microseconds())
 		}
 		gbits := streamBandwidth(sys, opt.Seed, topology.NodeID(p.dst), p.size)
@@ -189,7 +191,7 @@ func streamBandwidth(sys System, seed uint64, dst topology.NodeID, size int64) f
 	for i := 0; i < window && i < iters; i++ {
 		post()
 	}
-	net.Eng.RunWhile(func() bool { return done < iters })
+	net.RunWhile(func() bool { return done < iters })
 	if finish == 0 {
 		return 0
 	}
@@ -245,6 +247,7 @@ var Fig5Sizes = [...]int64{8, 64, 512, 1024, 4096, 32 * 1024, 256 * 1024, 2 << 2
 func Fig5Stacks(opt Options) Fig5Result {
 	opt = opt.withDefaults(fig5Defaults)
 	sys := Shandy(opt.Nodes)
+	sys.Domains = opt.Domains
 	npg := sys.Topo.NodesPerSwitch * sys.Topo.SwitchesPerGroup
 	type point struct {
 		stack mpi.Stack
@@ -256,13 +259,13 @@ func Fig5Stacks(opt Options) Fig5Result {
 			points = append(points, point{st, size})
 		}
 	}
-	out := parallelMap(opt.Jobs, points, func(p point) Fig5Point {
+	out := parallelMap(opt.gridJobs(), points, func(p point) Fig5Point {
 		net := sys.build(opt.Seed)
 		j := mpi.NewJob(net, []topology.NodeID{0, topology.NodeID(npg)},
 			mpi.JobOpts{Stack: p.stack})
 		var rtts []sim.Time
 		j.PingPong(0, 1, p.size, opt.MaxIters, func(rs []sim.Time) { rtts = rs })
-		net.Eng.Run()
+		net.Run()
 		s := stats.NewSample(len(rtts))
 		for _, r := range rtts {
 			s.Add(float64(r))

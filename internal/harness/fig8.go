@@ -52,11 +52,12 @@ func Fig8Tailbench(opt Options) Fig8Result {
 	}
 	var pairs []pair
 	for _, sys := range gridSystems(opt.Nodes) {
+		sys.Domains = opt.Domains
 		for _, app := range workloads.DCAppsScaled(dcServiceScale) {
 			pairs = append(pairs, pair{sys, app})
 		}
 	}
-	entries := parallelMap(opt.Jobs, pairs, func(p pair) Fig8Entry {
+	entries := parallelMap(opt.gridJobs(), pairs, func(p pair) Fig8Entry {
 		net := p.sys.build(opt.Seed)
 		rng := sim.NewRNG(opt.Seed + 99)
 		nv := max(2, opt.Nodes/10)
@@ -80,16 +81,16 @@ func Fig8Tailbench(opt Options) Fig8Result {
 
 func sampleApp(j *mpi.Job, app workloads.App, rng *sim.RNG, iters int) *stats.Sample {
 	s := stats.NewSample(iters)
-	eng := j.Net.Eng
+	net := j.Net
 	for i := 0; i < iters; i++ {
-		start := eng.Now()
+		start := net.Now()
 		fin := false
 		app.Iterate(j, rng, func() { fin = true })
-		eng.RunWhile(func() bool { return !fin })
+		net.RunWhile(func() bool { return !fin })
 		if !fin {
 			break
 		}
-		s.Add((eng.Now() - start).Microseconds())
+		s.Add((net.Now() - start).Microseconds())
 	}
 	return s
 }

@@ -105,6 +105,7 @@ func congestionGrid(opt Options, victims []Victim, alloc placement.Policy, syste
 	var points []GridPoint
 	seed := opt.Seed
 	for _, sys := range systems {
+		sys.Domains = opt.Domains
 		for _, kind := range []AggressorKind{AlltoallAggressor, IncastAggressor} {
 			for _, vf := range splits {
 				res.Rows = append(res.Rows, Fig9RowResult{
@@ -132,7 +133,7 @@ func congestionGrid(opt Options, victims []Victim, alloc placement.Policy, syste
 			}
 		}
 	}
-	cells := RunGrid(points, opt.Jobs)
+	cells := RunGrid(points, opt.gridJobs())
 	for i := range res.Rows {
 		res.Rows[i].Cells = cells[i*len(victims) : (i+1)*len(victims)]
 	}

@@ -207,16 +207,16 @@ func RunCell(spec CellSpec, v Victim) CellResult {
 
 func measureVictim(j *mpi.Job, v Victim, rng *sim.RNG, minIters, maxIters int) *stats.Sample {
 	s := stats.NewSample(maxIters)
-	eng := j.Net.Eng
+	net := j.Net
 	for i := 0; i < maxIters; i++ {
-		start := eng.Now()
+		start := net.Now()
 		fin := false
 		v.Run(j, rng, func() { fin = true })
-		eng.RunWhile(func() bool { return !fin })
+		net.RunWhile(func() bool { return !fin })
 		if !fin {
 			break
 		}
-		s.Add((eng.Now() - start).Microseconds())
+		s.Add((net.Now() - start).Microseconds())
 		if i+1 >= minIters && s.Converged(0.05) {
 			break
 		}

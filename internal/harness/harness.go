@@ -33,6 +33,12 @@ type Options struct {
 	// Jobs is the worker-pool width for independent grid points
 	// (0 = GOMAXPROCS, 1 = serial). Results are identical for any value.
 	Jobs int
+	// Domains is the sharded parallel engine's worker budget per network
+	// (fabric.NewSharded): 0 runs the classic single-threaded engine;
+	// any value >= 1 runs the domain-sharded engine, whose results are
+	// identical for every budget. Grid experiments divide Jobs by Domains
+	// so the two levels of parallelism compose to roughly Jobs goroutines.
+	Domains int
 	// Victims selects the grid columns for fig9/fig10
 	// (default VictimsQuick).
 	Victims VictimSet
@@ -82,6 +88,19 @@ func (o Options) withDefaults(d Options) Options {
 	return o
 }
 
+// gridJobs is the grid worker-pool width composed with the per-network
+// domain budget: with Domains > 1 every cell already runs Domains
+// goroutines, so the pool shrinks to keep the total near Jobs.
+func (o Options) gridJobs() int {
+	if o.Domains <= 1 {
+		return o.Jobs
+	}
+	if j := o.Jobs / o.Domains; j > 1 {
+		return j
+	}
+	return 1
+}
+
 // System couples a topology shape with a hardware profile. Dragonfly
 // systems fill Topo (the figN experiments also read its shape fields);
 // other backends set Builder, which takes precedence over it. Only when
@@ -91,6 +110,9 @@ type System struct {
 	Topo    topology.Config
 	Builder topology.Builder
 	Prof    fabric.Profile
+	// Domains is the sharded-engine worker budget passed to
+	// fabric.NewSharded (0 = classic engine); see Options.Domains.
+	Domains int
 }
 
 // Shandy returns the 1024-node Slingshot system (scaled to n nodes when
@@ -149,7 +171,7 @@ func (s System) build(seed uint64) *fabric.Network {
 	if b == nil {
 		b = s.Topo // zero config: Validate reports the empty system
 	}
-	return fabric.New(topology.MustBuild(b), s.Prof, seed)
+	return fabric.NewSharded(topology.MustBuild(b), s.Prof, seed, s.Domains)
 }
 
 // nodeRange returns the first n node IDs.

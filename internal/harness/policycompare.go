@@ -119,6 +119,7 @@ func PolicyCompare(opt Options) (PolicyCompareResult, error) {
 				if err != nil {
 					return PolicyCompareResult{}, err
 				}
+				sys.Domains = opt.Domains
 				res.Rows = append(res.Rows, PolicyRowResult{
 					Topo: topoName, Routing: routingName, CC: ccName,
 				})
@@ -142,7 +143,7 @@ func PolicyCompare(opt Options) (PolicyCompareResult, error) {
 			}
 		}
 	}
-	cells := RunGrid(points, opt.Jobs)
+	cells := RunGrid(points, opt.gridJobs())
 	for i := range res.Rows {
 		res.Rows[i].Cells = cells[i*len(victims) : (i+1)*len(victims)]
 	}

@@ -54,7 +54,7 @@ func (SlingshotAdaptive) Choose(topo topology.Topology, ctx Context,
 	if nmax < 2 {
 		nmax = 2
 	}
-	nonMin := topo.NonMinimalPaths(ctx.Src, ctx.Dst, rng, nmax)
+	nonMin := nonMinimalPaths(topo, ctx, rng, nmax)
 
 	bias := ctx.MinimalBias
 	if bias < 1 {
@@ -163,7 +163,7 @@ func (ValiantUGAL) Choose(topo topology.Topology, ctx Context,
 	if bias < ugalDetourBias {
 		bias = ugalDetourBias
 	}
-	detours := topo.NonMinimalPaths(ctx.Src, ctx.Dst, rng, 2)
+	detours := nonMinimalPaths(topo, ctx, rng, 2)
 	fromArena := false
 	for _, c := range detours {
 		if cost := PathCost(load, c, bias); cost < bestCost {

@@ -53,6 +53,22 @@ type Context struct {
 	// information); it models the staleness of distributed congestion
 	// estimates (§II-C).
 	RouteNoise float64
+	// Arena, when non-nil, is the caller-owned path-construction scratch
+	// policies must use for non-minimal candidates (via
+	// Topology.NonMinimalPathsIn). A sharded fabric passes each domain's
+	// own arena so domains can route concurrently over the shared
+	// topology; nil falls back to the topology's embedded arena.
+	Arena *topology.PathArena
+}
+
+// nonMinimalPaths enumerates non-minimal candidates through the context's
+// arena when one is provided, else the topology's embedded arena.
+//simlint:hotpath
+func nonMinimalPaths(topo topology.Topology, ctx Context, rng *sim.RNG, max int) []topology.Path {
+	if ctx.Arena != nil {
+		return topo.NonMinimalPathsIn(ctx.Arena, ctx.Src, ctx.Dst, rng, max)
+	}
+	return topo.NonMinimalPaths(ctx.Src, ctx.Dst, rng, max)
 }
 
 // LoadReader is the policy's read-only view of fabric congestion state:

@@ -110,6 +110,18 @@ func (e *Engine) Steps() int64 { return e.nsteps }
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return e.count }
 
+// NextAt returns the timestamp of the earliest queued event. ok is false
+// when the queue is empty. Peeking may rotate the wheel (relocating
+// events) but never executes anything, so it is safe to call between
+// epochs of a bounded run.
+func (e *Engine) NextAt() (at Time, ok bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.At, true
+}
+
 // Schedule queues h to run at absolute time at, with arg and data stored
 // on the event for the handler to read. Scheduling in the past (before
 // Now) is clamped to Now; this happens only from handlers that compute a

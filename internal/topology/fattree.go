@@ -84,7 +84,7 @@ func (c FatTreeConfig) Build() (Topology, error) { return NewFatTree(c) }
 type FatTree struct {
 	adjacency
 	linkTable
-	pathArena
+	PathArena
 	Cfg   FatTreeConfig
 	nodes int
 	// Switch-ID layout: edges [0, edges), aggs [edges, edges+aggs),
@@ -223,9 +223,9 @@ func (f *FatTree) MinimalPaths(src, dst SwitchID, max int) []Path {
 // arenaUpDown builds one minimal src->dst edge-to-edge path in the arena,
 // choosing the aggregation plane (and core within it) with rng; nil rng
 // takes the first choice. src == dst yields the single-switch path.
-func (f *FatTree) arenaUpDown(src, dst SwitchID, rng *sim.RNG) Path {
+func (f *FatTree) arenaUpDown(ar *PathArena, src, dst SwitchID, rng *sim.RNG) Path {
 	if src == dst {
-		return f.arenaPath(src)
+		return ar.arenaPath(src)
 	}
 	cfg := &f.Cfg
 	ps, pd := f.podOf(src), f.podOf(dst)
@@ -234,30 +234,37 @@ func (f *FatTree) arenaUpDown(src, dst SwitchID, rng *sim.RNG) Path {
 		a = rng.Intn(cfg.AggPerPod)
 	}
 	if ps == pd {
-		return f.arenaPath(src, f.aggSwitch(ps, a), dst)
+		return ar.arenaPath(src, f.aggSwitch(ps, a), dst)
 	}
 	c := 0
 	if rng != nil {
 		c = rng.Intn(cfg.CorePerAgg)
 	}
-	return f.arenaPath(src, f.aggSwitch(ps, a), f.coreSwitch(a, c), f.aggSwitch(pd, a), dst)
+	return ar.arenaPath(src, f.aggSwitch(ps, a), f.coreSwitch(a, c), f.aggSwitch(pd, a), dst)
 }
 
-// NonMinimalPaths enumerates up to max Valiant-style detours: down to a
-// random intermediate edge switch, then minimally on to the destination.
-// The returned paths live in the topology's reusable arena (copy to
-// retain; single-goroutine use only), and rng draws follow a fixed order
-// so replays are deterministic.
+// NonMinimalPaths enumerates Valiant-style detours in the topology's
+// embedded arena (copy to retain; single-goroutine use only — see
+// NonMinimalPathsIn).
 func (f *FatTree) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []Path {
+	return f.NonMinimalPathsIn(&f.PathArena, src, dst, rng, max)
+}
+
+// NonMinimalPathsIn enumerates up to max Valiant-style detours in the
+// caller's arena: down to a random intermediate edge switch, then
+// minimally on to the destination. rng draws follow a fixed order so
+// replays are deterministic. The returned paths live in the arena, which
+// the next call on it reuses.
+func (f *FatTree) NonMinimalPathsIn(a *PathArena, src, dst SwitchID, rng *sim.RNG, max int) []Path {
 	if max <= 0 {
 		max = 2
 	}
 	if src == dst || !f.isEdge(src) || !f.isEdge(dst) || f.edges <= 2 {
 		return nil
 	}
-	f.pathNodes = f.pathNodes[:0]
-	out := f.outPaths[:0]
-	defer func() { f.outPaths = out[:0] }() //simlint:allocok -- non-escaping open-coded defer; stays on the stack
+	a.pathNodes = a.pathNodes[:0]
+	out := a.outPaths[:0]
+	defer func() { a.outPaths = out[:0] }() //simlint:allocok -- non-escaping open-coded defer; stays on the stack
 	start := 0
 	if rng != nil {
 		start = rng.Intn(f.edges)
@@ -267,7 +274,7 @@ func (f *FatTree) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []Pa
 		if mid == src || mid == dst {
 			continue
 		}
-		p := f.arenaCompose(f.arenaUpDown(src, mid, rng), f.arenaUpDown(mid, dst, rng))
+		p := a.arenaCompose(f.arenaUpDown(a, src, mid, rng), f.arenaUpDown(a, mid, dst, rng))
 		if p != nil {
 			out = append(out, p)
 		}

@@ -61,13 +61,11 @@ func (c HyperXConfig) Build() (Topology, error) { return NewHyperX(c) }
 type HyperX struct {
 	adjacency
 	linkTable
-	pathArena
+	PathArena
 	Cfg   HyperXConfig
 	nodes int
 	// stride[d] is the ID weight of coordinate d.
 	stride []int
-	// srcCoord/dstCoord back coordsInto on the routing hot path.
-	srcCoord, dstCoord []int
 }
 
 var _ Topology = (*HyperX)(nil)
@@ -88,11 +86,9 @@ func NewHyperX(cfg HyperXConfig) (*HyperX, error) {
 		sw *= s
 	}
 	h := &HyperX{
-		Cfg:      cfg,
-		nodes:    sw * cfg.NodesPerSwitch,
-		stride:   stride,
-		srcCoord: make([]int, len(cfg.Dims)),
-		dstCoord: make([]int, len(cfg.Dims)),
+		Cfg:    cfg,
+		nodes:  sw * cfg.NodesPerSwitch,
+		stride: stride,
 	}
 	h.initAdjacency(sw)
 
@@ -200,36 +196,44 @@ func (h *HyperX) MinimalPaths(src, dst SwitchID, max int) []Path {
 
 // arenaDOR builds the first-choice (ascending-dimension) minimal path in
 // the arena. src == dst yields the single-switch path.
-func (h *HyperX) arenaDOR(src, dst SwitchID) Path {
-	sc := h.coordsInto(src, h.srcCoord)
-	dc := h.coordsInto(dst, h.dstCoord)
-	s := len(h.pathNodes)
-	h.pathNodes = append(h.pathNodes, src)
+func (h *HyperX) arenaDOR(a *PathArena, src, dst SwitchID) Path {
+	sc := h.coordsInto(src, a.coordA)
+	dc := h.coordsInto(dst, a.coordB)
+	s := len(a.pathNodes)
+	a.pathNodes = append(a.pathNodes, src)
 	cur := src
 	for d := range sc {
 		if sc[d] != dc[d] {
 			cur += SwitchID((dc[d] - sc[d]) * h.stride[d])
-			h.pathNodes = append(h.pathNodes, cur)
+			a.pathNodes = append(a.pathNodes, cur)
 		}
 	}
-	return h.pathNodes[s:len(h.pathNodes):len(h.pathNodes)]
+	return a.pathNodes[s:len(a.pathNodes):len(a.pathNodes)]
 }
 
-// NonMinimalPaths enumerates up to max Valiant detours via a random
-// intermediate switch, dimension-order routing to it and onwards. The
-// returned paths live in the topology's reusable arena (copy to retain;
-// single-goroutine use only), and rng draws follow a fixed order so
-// replays are deterministic; nil rng starts from switch 0.
+// NonMinimalPaths enumerates Valiant detours in the topology's embedded
+// arena (copy to retain; single-goroutine use only — see
+// NonMinimalPathsIn).
 func (h *HyperX) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []Path {
+	return h.NonMinimalPathsIn(&h.PathArena, src, dst, rng, max)
+}
+
+// NonMinimalPathsIn enumerates up to max Valiant detours in the caller's
+// arena, via a random intermediate switch with dimension-order routing to
+// it and onwards. rng draws follow a fixed order so replays are
+// deterministic; nil rng starts from switch 0. The returned paths live in
+// the arena, which the next call on it reuses.
+func (h *HyperX) NonMinimalPathsIn(a *PathArena, src, dst SwitchID, rng *sim.RNG, max int) []Path {
 	if max <= 0 {
 		max = 2
 	}
 	if src == dst || h.sw <= 2 {
 		return nil
 	}
-	h.pathNodes = h.pathNodes[:0]
-	out := h.outPaths[:0]
-	defer func() { h.outPaths = out[:0] }() //simlint:allocok -- non-escaping open-coded defer; stays on the stack
+	a.ensureCoords(len(h.Cfg.Dims)) //simlint:allocok -- one-time lazy growth per arena; steady state reuses
+	a.pathNodes = a.pathNodes[:0]
+	out := a.outPaths[:0]
+	defer func() { a.outPaths = out[:0] }() //simlint:allocok -- non-escaping open-coded defer; stays on the stack
 	start := 0
 	if rng != nil {
 		start = rng.Intn(h.sw)
@@ -249,9 +253,9 @@ func (h *HyperX) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []Pat
 		// The two DOR segments are built before composing, so the compose
 		// sees both and can reject revisits (e.g. mid sharing a row with
 		// both endpoints can route back through src).
-		seg1 := h.arenaDOR(src, mid)
-		seg2 := h.arenaDOR(mid, dst)
-		if p := h.arenaCompose(seg1, seg2); p != nil {
+		seg1 := h.arenaDOR(a, src, mid)
+		seg2 := h.arenaDOR(a, mid, dst)
+		if p := a.arenaCompose(seg1, seg2); p != nil {
 			out = append(out, p)
 		}
 	}

@@ -46,9 +46,18 @@ type Topology interface {
 	NeighborCount(SwitchID) int
 	Neighbors(SwitchID) []SwitchID
 
-	// Routing candidates.
+	// Routing candidates. NonMinimalPaths builds in the topology's own
+	// embedded arena; NonMinimalPathsIn builds in a caller-owned arena, so
+	// several single-threaded consumers (e.g. the per-domain networks of a
+	// sharded fabric) can route on one shared immutable topology without
+	// sharing scratch state.
 	MinimalPaths(src, dst SwitchID, max int) []Path
 	NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []Path
+	NonMinimalPathsIn(a *PathArena, src, dst SwitchID, rng *sim.RNG, max int) []Path
+
+	// Partition returns the backend's domain decomposition for
+	// conservative parallel simulation (see Partition's doc).
+	Partition(domains int) Partition
 
 	// Metrics and validation.
 	Valid(Path) bool
@@ -252,20 +261,34 @@ func linkMultiplicity(lk int) int {
 	return lk
 }
 
-// pathArena is the path-construction scratch reused by NonMinimalPaths
+// PathArena is the path-construction scratch reused by NonMinimalPaths
 // (one adaptive routing decision per packet on the hot path): candidate
 // paths are built in pathNodes and collected in outPaths, so steady-state
 // routing allocates nothing. Both are reset on every call, which is why
-// NonMinimalPaths results must be copied if retained — and why a topology
-// must not serve routing queries from multiple goroutines (each Network
-// builds its own).
-type pathArena struct {
+// NonMinimalPaths results must be copied if retained — and why one arena
+// must not serve routing queries from multiple goroutines. Every backend
+// embeds one (backing its NonMinimalPaths convenience method); consumers
+// that need private scratch over a shared topology — the per-domain
+// networks of a sharded fabric — own their own and route through
+// NonMinimalPathsIn.
+type PathArena struct {
 	pathNodes []SwitchID
 	outPaths  []Path
+	// coordA/coordB are the coordinate scratch of the HyperX backend.
+	coordA, coordB []int
+}
+
+// ensureCoords sizes the coordinate scratch to ndims, keeping capacity.
+func (a *PathArena) ensureCoords(ndims int) {
+	if cap(a.coordA) < ndims {
+		a.coordA = make([]int, ndims)
+		a.coordB = make([]int, ndims)
+	}
+	a.coordA, a.coordB = a.coordA[:ndims], a.coordB[:ndims]
 }
 
 // arenaPath appends the given switches as one arena-backed path.
-func (a *pathArena) arenaPath(sw ...SwitchID) Path {
+func (a *PathArena) arenaPath(sw ...SwitchID) Path {
 	s := len(a.pathNodes)
 	a.pathNodes = append(a.pathNodes, sw...)
 	return a.pathNodes[s:len(a.pathNodes):len(a.pathNodes)]
@@ -276,7 +299,7 @@ func (a *pathArena) arenaPath(sw ...SwitchID) Path {
 // caller filters). The segments may themselves be arena-backed: they
 // occupy earlier arena indices, so appending the composition after them
 // never aliases its inputs.
-func (a *pathArena) arenaCompose(segs ...Path) Path {
+func (a *PathArena) arenaCompose(segs ...Path) Path {
 	s := len(a.pathNodes)
 	for _, seg := range segs {
 		for i, sw := range seg {

@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Partition is a domain decomposition of a topology for conservative
+// parallel simulation: every switch (and, through SwitchOf, every node)
+// belongs to exactly one domain, and MinCutLatency bounds how soon an
+// event crossing domains can take effect — the conservative lookahead.
+//
+// Each backend decomposes along its natural structural boundary, chosen
+// so the cut carries only optical links (the slowest propagation in the
+// system, hence the widest lookahead window):
+//
+//   - Dragonfly: one unit per group (the cut is the all-optical global
+//     link mesh).
+//   - Fat-tree: one unit per pod; core plane a folds into unit a mod
+//     Pods (the cut is the optical agg–core wiring that leaves the pod).
+//   - HyperX: one unit per dimension-0 row (rack-internal electrical
+//     rows stay whole; the cut is the optical higher-dimension wiring).
+//
+// The natural unit count — not the requested domain count — fixes the
+// decomposition: Partition(d) for 0 < d < units folds unit u into
+// domain u mod d, and d <= 0 (or d >= units) keeps the natural units
+// unfolded. A parallel fabric always simulates the natural units and
+// varies only its worker count, so results are bit-identical for every
+// worker budget; the folded form exists for partition-shape tests and
+// external consumers.
+type Partition struct {
+	// Domains is the domain count (== the natural unit count unless the
+	// requested fold was smaller).
+	Domains int
+	// Of maps each switch to its domain, densely 0..Domains-1.
+	Of []int
+	// Cut lists the IDs of inter-switch links whose endpoints lie in
+	// different domains, in link-discovery order.
+	Cut []int
+	// MinCutLatency is the propagation latency of the fastest cut link:
+	// no event can cross domains sooner, so epochs of that width never
+	// deliver into a peer's past. A cutless partition (a single domain)
+	// reports the optical delay — any positive bound is vacuously safe.
+	MinCutLatency sim.Time
+}
+
+// kindLatency is the propagation latency fabric assigns a link kind.
+func kindLatency(k LinkKind) sim.Time {
+	switch k {
+	case EdgeLink:
+		return phy.EdgeDelay()
+	case LocalLink:
+		return phy.CopperDelay()
+	}
+	return phy.OpticalDelay()
+}
+
+// finishPartition folds the natural per-switch unit assignment down to
+// the requested domain count and derives the cut and its latency bound.
+func finishPartition(links []Link, of []int, units, domains int) Partition {
+	if domains <= 0 || domains > units {
+		domains = units
+	}
+	if domains < units {
+		for s := range of {
+			of[s] %= domains
+		}
+	}
+	p := Partition{Domains: domains, Of: of, MinCutLatency: phy.OpticalDelay()}
+	first := true
+	for _, l := range links {
+		if l.Kind == EdgeLink || of[l.A] == of[l.B] {
+			continue
+		}
+		p.Cut = append(p.Cut, l.ID)
+		if lat := kindLatency(l.Kind); first || lat < p.MinCutLatency {
+			p.MinCutLatency = lat
+			first = false
+		}
+	}
+	return p
+}
+
+// Partition decomposes the Dragonfly into one domain per group.
+func (d *Dragonfly) Partition(domains int) Partition {
+	of := make([]int, d.sw)
+	for s := range of {
+		of[s] = s / d.Cfg.SwitchesPerGroup
+	}
+	return finishPartition(d.links, of, d.Cfg.Groups, domains)
+}
+
+// Partition decomposes the fat-tree into one domain per pod, folding
+// core plane a into pod a mod Pods so every switch has a home.
+func (f *FatTree) Partition(domains int) Partition {
+	units := f.Cfg.Pods
+	of := make([]int, f.sw)
+	for s := range of {
+		switch {
+		case s < f.edges:
+			of[s] = s / f.Cfg.EdgePerPod
+		case s < f.edges+f.aggs:
+			of[s] = (s - f.edges) / f.Cfg.AggPerPod
+		default:
+			plane := (s - f.edges - f.aggs) / f.Cfg.CorePerAgg
+			of[s] = plane % units
+		}
+	}
+	return finishPartition(f.links, of, units, domains)
+}
+
+// Partition decomposes the HyperX into one domain per dimension-0 row
+// (the contiguous ID runs of length Dims[0]).
+func (h *HyperX) Partition(domains int) Partition {
+	row := h.Cfg.Dims[0]
+	of := make([]int, h.sw)
+	for s := range of {
+		of[s] = s / row
+	}
+	return finishPartition(h.links, of, h.sw/row, domains)
+}

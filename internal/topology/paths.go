@@ -118,42 +118,47 @@ func (d *Dragonfly) MinimalPaths(src, dst SwitchID, max int) []Path {
 }
 
 // arenaIntraFirst is intraPaths(a, b)[0] — the first minimal intra-group
-// path — built in the shared pathArena (see interface.go): NonMinimalPaths
+// path — built in the given PathArena (see interface.go): NonMinimalPaths
 // runs once per routed packet, and the hot path must construct and discard
 // candidate paths without allocating.
-func (d *Dragonfly) arenaIntraFirst(a, b SwitchID) Path {
+func (d *Dragonfly) arenaIntraFirst(ar *PathArena, a, b SwitchID) Path {
 	if a == b {
-		return d.arenaPath(a)
+		return ar.arenaPath(a)
 	}
 	if d.localAdjacent(a, b) {
-		return d.arenaPath(a, b)
+		return ar.arenaPath(a, b)
 	}
 	// Grid2D, different row and column: along a's row to b's column.
 	base := (int(a) / d.Cfg.SwitchesPerGroup) * d.Cfg.SwitchesPerGroup
 	ia, ib := int(a)-base, int(b)-base
 	m1 := SwitchID(base + (ia/d.cols)*d.cols + ib%d.cols)
-	return d.arenaPath(a, m1, b)
+	return ar.arenaPath(a, m1, b)
 }
 
-// NonMinimalPaths enumerates up to max non-minimal (Valiant-style) paths.
-// Within a group the detour is via a random third switch of the group;
-// across groups it is via a random intermediate group. rng supplies the
-// randomization; a nil rng yields deterministic (first-choice) detours.
-//
-// The returned paths live in a per-topology arena that the next
-// NonMinimalPaths call on this Dragonfly reuses: callers must copy any
-// path they retain past their routing decision, and must not route on a
-// shared Dragonfly from multiple goroutines.
+// NonMinimalPaths enumerates up to max non-minimal (Valiant-style) paths
+// in the topology's embedded arena: callers must copy any path they
+// retain past their routing decision, and must not route on a shared
+// Dragonfly from multiple goroutines (see NonMinimalPathsIn).
 func (d *Dragonfly) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []Path {
+	return d.NonMinimalPathsIn(&d.PathArena, src, dst, rng, max)
+}
+
+// NonMinimalPathsIn enumerates up to max non-minimal (Valiant-style)
+// paths in the caller's arena. Within a group the detour is via a random
+// third switch of the group; across groups it is via a random
+// intermediate group. rng supplies the randomization; a nil rng yields
+// deterministic (first-choice) detours. The returned paths live in the
+// arena, which the next call on it reuses.
+func (d *Dragonfly) NonMinimalPathsIn(a *PathArena, src, dst SwitchID, rng *sim.RNG, max int) []Path {
 	if max <= 0 {
 		max = 2
 	}
 	if src == dst {
 		return nil
 	}
-	d.pathNodes = d.pathNodes[:0]
-	out := d.outPaths[:0]
-	defer func() { d.outPaths = out[:0] }() //simlint:allocok -- non-escaping open-coded defer; stays on the stack
+	a.pathNodes = a.pathNodes[:0]
+	out := a.outPaths[:0]
+	defer func() { a.outPaths = out[:0] }() //simlint:allocok -- non-escaping open-coded defer; stays on the stack
 	gs, gd := d.GroupOf(src), d.GroupOf(dst)
 	if gs == gd {
 		// Detour via another switch in the same group.
@@ -171,7 +176,7 @@ func (d *Dragonfly) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []
 			if mid == src || mid == dst {
 				continue
 			}
-			p := d.arenaCompose(d.arenaIntraFirst(src, mid), d.arenaIntraFirst(mid, dst))
+			p := a.arenaCompose(d.arenaIntraFirst(a, src, mid), d.arenaIntraFirst(a, mid, dst))
 			if p != nil {
 				out = append(out, p)
 			}
@@ -183,7 +188,7 @@ func (d *Dragonfly) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []
 	if ng <= 2 {
 		// No third group: detour within the source group to a different
 		// gateway, then minimal.
-		out = d.detourViaAltGateway(src, dst, rng, max, out)
+		out = d.detourViaAltGateway(a, src, dst, rng, max, out)
 		return out
 	}
 	start := 0
@@ -195,7 +200,7 @@ func (d *Dragonfly) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []
 		if gi == gs || gi == gd {
 			continue
 		}
-		p := d.pathViaGroup(src, dst, gi, rng)
+		p := d.pathViaGroup(a, src, dst, gi, rng)
 		if p != nil {
 			out = append(out, p)
 		}
@@ -206,7 +211,7 @@ func (d *Dragonfly) NonMinimalPaths(src, dst SwitchID, rng *sim.RNG, max int) []
 // pathViaGroup constructs src -> (gateway into gi) -> (gateway out of gi)
 // -> dst, using one global link into gi and one out of gi, with minimal
 // intra-group segments between the pieces.
-func (d *Dragonfly) pathViaGroup(src, dst SwitchID, gi GroupID, rng *sim.RNG) Path {
+func (d *Dragonfly) pathViaGroup(a *PathArena, src, dst SwitchID, gi GroupID, rng *sim.RNG) Path {
 	gs, gd := d.GroupOf(src), d.GroupOf(dst)
 	in := d.globalOut[gs][gi]
 	outL := d.globalOut[gi][gd]
@@ -231,19 +236,19 @@ func (d *Dragonfly) pathViaGroup(src, dst SwitchID, gi GroupID, rng *sim.RNG) Pa
 	if d.GroupOf(a2) != gi {
 		a2, b2 = b2, a2
 	}
-	return d.arenaCompose(
-		d.arenaIntraFirst(src, a1),
-		d.arenaPath(a1, b1),
-		d.arenaIntraFirst(b1, a2),
-		d.arenaPath(a2, b2),
-		d.arenaIntraFirst(b2, dst),
+	return a.arenaCompose(
+		d.arenaIntraFirst(a, src, a1),
+		a.arenaPath(a1, b1),
+		d.arenaIntraFirst(a, b1, a2),
+		a.arenaPath(a2, b2),
+		d.arenaIntraFirst(a, b2, dst),
 	)
 }
 
 // detourViaAltGateway handles the two-group case: route via a gateway
 // switch other than the minimal one. out is the caller's arena-backed
 // accumulator.
-func (d *Dragonfly) detourViaAltGateway(src, dst SwitchID, rng *sim.RNG, max int, out []Path) []Path {
+func (d *Dragonfly) detourViaAltGateway(ar *PathArena, src, dst SwitchID, rng *sim.RNG, max int, out []Path) []Path {
 	gs, gd := d.GroupOf(src), d.GroupOf(dst)
 	links := d.globalOut[gs][gd]
 	if len(links) <= 1 {
@@ -262,7 +267,7 @@ func (d *Dragonfly) detourViaAltGateway(src, dst SwitchID, rng *sim.RNG, max int
 		if a == src {
 			continue // that is a minimal path, not a detour
 		}
-		p := d.arenaCompose(d.arenaIntraFirst(src, a), d.arenaPath(a, b), d.arenaIntraFirst(b, dst))
+		p := ar.arenaCompose(d.arenaIntraFirst(ar, src, a), ar.arenaPath(a, b), d.arenaIntraFirst(ar, b, dst))
 		if p != nil {
 			out = append(out, p)
 		}

@@ -149,13 +149,13 @@ func (c Config) gridDims() (rows, cols int, err error) {
 }
 
 // Dragonfly is an immutable built topology. The embedded adjacency,
-// linkTable and pathArena provide the dense neighbor tables, the link
+// linkTable and PathArena provide the dense neighbor tables, the link
 // store, Valid/Diameter, and the NonMinimalPaths construction arena
 // shared by every backend.
 type Dragonfly struct {
 	adjacency
 	linkTable
-	pathArena
+	PathArena
 	Cfg   Config
 	nodes int
 	// rows/cols of the intra-group grid (1 x SwitchesPerGroup for

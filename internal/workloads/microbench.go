@@ -300,18 +300,18 @@ func RunSweep3D(j *mpi.Job, size int64, done func()) {
 // traffic keeps flowing between iterations.
 func MeasureIterations(j *mpi.Job, bench Microbench, minIters, maxIters int) *stats.Sample {
 	s := stats.NewSample(maxIters)
-	eng := j.Net.Eng
+	net := j.Net
 	for i := 0; i < maxIters; i++ {
-		start := eng.Now()
+		start := net.Now()
 		fin := false
 		bench.Run(j, func() { fin = true })
-		eng.RunWhile(func() bool { return !fin })
+		net.RunWhile(func() bool { return !fin })
 		if !fin {
 			// Starved: no events left but the benchmark didn't finish —
 			// should never happen; record nothing further.
 			break
 		}
-		s.Add((eng.Now() - start).Microseconds())
+		s.Add((net.Now() - start).Microseconds())
 		if i+1 >= minIters && s.Converged(0.05) {
 			break
 		}
