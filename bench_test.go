@@ -293,6 +293,15 @@ func BenchmarkPacketHotPath(b *testing.B) { bench.PacketHotPath(b) }
 // backend — interface dispatch must stay alloc-free on every topology.
 func BenchmarkPacketHotPathFatTree(b *testing.B) { bench.PacketHotPathFatTree(b) }
 
+// BenchmarkFlowEngine streams 8 MiB bulk flows through the flow-level
+// fluid engine; ns/op over 8 MiB is the fluid path's ns per simulated
+// byte (the hybrid-fidelity speedup claim is this against PacketHotPath).
+func BenchmarkFlowEngine(b *testing.B) { bench.FlowEngine(b) }
+
+// BenchmarkHybridRun measures the packet-level victim path with fluid
+// bulk aggressors saturating the same hybrid-fidelity fabric.
+func BenchmarkHybridRun(b *testing.B) { bench.HybridRun(b) }
+
 // BenchmarkChoosePath measures one source-switch routing decision per
 // policy on a warm network; the adaptive (default) policy must stay at
 // 0 allocs/decision on the cached-minimal path.

@@ -62,19 +62,28 @@ func main() {
 	res.Meta.Rev = gitRev()
 	res.Meta.GoVersion = runtime.Version()
 	res.Meta.SimlintClean, res.Meta.SpineFuncs = simlintClean(os.Stderr)
-	t := res.AddTable("benchmarks", "benchmark", "unit", "domains", "iters", "ns/unit", "allocs/unit", "B/unit")
+	t := res.AddTable("benchmarks", "benchmark", "unit", "domains", "iters", "ns/unit", "allocs/unit", "B/unit", "ns/sim-byte")
 	start := time.Now()
 	for _, bm := range bench.Suite() {
 		fmt.Fprintf(os.Stderr, "benchreport: running %s...\n", bm.Name)
 		r := testing.Benchmark(bm.Fn)
+		nsPerUnit := float64(r.T.Nanoseconds()) / float64(r.N)
+		// ns/sim-byte normalizes byte-moving benchmarks by the payload one
+		// unit simulates, making fidelities directly comparable (the flow
+		// engine's raison d'être is this column vs PacketHotPath's).
+		nsPerByte := results.NA()
+		if bm.SimBytes > 0 {
+			nsPerByte = results.Float(nsPerUnit/float64(bm.SimBytes), 5)
+		}
 		t.Row(
 			results.String(bm.Name),
 			results.String(bm.Unit),
 			results.Int(int64(bm.Domains)),
 			results.Int(int64(r.N)),
-			results.Float(float64(r.T.Nanoseconds())/float64(r.N), 1),
+			results.Float(nsPerUnit, 1),
 			results.Float(float64(r.MemAllocs)/float64(r.N), 2),
 			results.Float(float64(r.MemBytes)/float64(r.N), 1),
+			nsPerByte,
 		)
 	}
 	res.Meta.Wall = time.Since(start)

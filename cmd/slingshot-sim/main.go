@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/congestion"
+	"repro/internal/fabric"
 	"repro/internal/harness"
 	"repro/internal/results"
 	"repro/internal/routing"
@@ -91,6 +92,7 @@ type runConfig struct {
 	topo     string
 	routing  string
 	cc       string
+	fidelity string
 	format   string
 }
 
@@ -116,6 +118,10 @@ func runFlags(c *runConfig) *flag.FlagSet {
 	fs.StringVar(&c.cc, "cc", "",
 		"policy-compare congestion control: "+strings.Join(congestion.Names(), "|")+
 			" (empty = slingshot|ecn|delay)")
+	fs.StringVar(&c.fidelity, "fidelity", "packet",
+		"byte-movement fidelity: "+strings.Join(fabric.FidelityNames(), "|")+
+			" (flow runs every transfer on the fluid engine; hybrid keeps "+
+			"victims and hotspots packet-level)")
 	fs.StringVar(&c.format, "format", "table",
 		"output format: "+strings.Join(results.Formats(), "|"))
 	return fs
@@ -192,6 +198,9 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if _, err := fabric.ParseFidelity(cfg.fidelity); err != nil {
+		return err
+	}
 	seeds, err := parseSeeds(cfg.seeds, cfg.seed)
 	if err != nil {
 		return err
@@ -221,6 +230,7 @@ func run(args []string) error {
 				Topo:     cfg.topo,
 				Routing:  cfg.routing,
 				CC:       cfg.cc,
+				Fidelity: cfg.fidelity,
 			}
 			res, err := e.Run(opt)
 			if err != nil {

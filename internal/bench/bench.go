@@ -213,6 +213,102 @@ func ParallelRun(domains int) func(b *testing.B) {
 	}
 }
 
+// FlowEngine streams bulk cross-group flows through the flow-level fluid
+// engine (fabric.FidelityFlow): 8 flows with 4 outstanding 8 MiB
+// transfers each, reposted on delivery. One iteration is one delivered
+// flow, so ns/op spread over the flow's bytes (the suite's SimBytes
+// metadata) is the fluid path's ns per simulated byte — the number the
+// hybrid-fidelity design trades against the packet engine's.
+func FlowEngine(b *testing.B) {
+	topo := topology.MustNew(topology.Config{
+		Groups: 2, SwitchesPerGroup: 2, NodesPerSwitch: 8, GlobalPerPair: 2,
+	})
+	prof := fabric.SlingshotProfile()
+	prof.SwitchJitter = false
+	net := fabric.New(topo, prof, 5)
+	net.SetFidelity(fabric.FidelityFlow)
+
+	delivered := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	var post func(src, dst topology.NodeID)
+	post = func(src, dst topology.NodeID) {
+		if delivered >= b.N {
+			return
+		}
+		net.Send(src, dst, FlowEngineBytes, fabric.SendOpts{
+			Bulk: true,
+			OnDelivered: func(sim.Time) {
+				delivered++
+				post(src, dst)
+			},
+		})
+	}
+	for i := 0; i < 8; i++ {
+		for w := 0; w < 4; w++ {
+			post(topology.NodeID(i), topology.NodeID(16+i))
+		}
+	}
+	net.RunWhile(func() bool { return delivered < b.N })
+}
+
+// FlowEngineBytes is the per-flow transfer size FlowEngine simulates per
+// iteration (the SimBytes metadata for its suite row).
+const FlowEngineBytes = 8 << 20
+
+// HybridRun measures the packet-level victim path while fluid bulk
+// aggressor flows saturate the same hybrid-fidelity fabric: 4 victim
+// flows stream 32 KiB eager messages packet-by-packet, 4 bulk pairs keep
+// 2 outstanding 1 MiB fluid transfers each. One iteration is one
+// delivered victim data packet, so ns/op reads as the hybrid per-packet
+// cost — the packet engine plus the background-load bookkeeping the
+// fluid flows impose on it.
+func HybridRun(b *testing.B) {
+	topo := topology.MustNew(topology.Config{
+		Groups: 2, SwitchesPerGroup: 2, NodesPerSwitch: 8, GlobalPerPair: 2,
+	})
+	prof := fabric.SlingshotProfile()
+	prof.SwitchJitter = false
+	net := fabric.New(topo, prof, 5)
+	net.SetFidelity(fabric.FidelityHybrid)
+	delivered := 0
+	net.Taps.OnPacketDelivered = func(p *fabric.Packet, _ sim.Time) { delivered++ }
+
+	const victimBytes = 32 * 1024
+	const bulkBytes = 1 << 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	var postVictim func(src, dst topology.NodeID)
+	postVictim = func(src, dst topology.NodeID) {
+		if delivered >= b.N {
+			return
+		}
+		net.Send(src, dst, victimBytes, fabric.SendOpts{
+			NoRendezvous: true,
+			OnDelivered:  func(sim.Time) { postVictim(src, dst) },
+		})
+	}
+	var postBulk func(src, dst topology.NodeID)
+	postBulk = func(src, dst topology.NodeID) {
+		if delivered >= b.N {
+			return
+		}
+		net.Send(src, dst, bulkBytes, fabric.SendOpts{
+			Bulk:        true,
+			OnDelivered: func(sim.Time) { postBulk(src, dst) },
+		})
+	}
+	for i := 0; i < 4; i++ {
+		for w := 0; w < 4; w++ {
+			postVictim(topology.NodeID(i), topology.NodeID(16+i))
+		}
+		for w := 0; w < 2; w++ {
+			postBulk(topology.NodeID(4+i), topology.NodeID(20+i))
+		}
+	}
+	net.RunWhile(func() bool { return delivered < b.N })
+}
+
 // mailboxBounce forwards each received event to the peer shard one
 // lookahead later — the minimal cross-shard workload.
 type mailboxBounce struct {
@@ -266,32 +362,42 @@ func MailboxExchange(b *testing.B) {
 }
 
 // Suite lists the hot-path benchmarks cmd/benchreport runs, with the unit
-// one iteration corresponds to and, for the sharded-engine rows, the
-// domain worker budget (0 = classic engine).
+// one iteration corresponds to, the sharded-engine rows' domain worker
+// budget (0 = classic engine), and — where one unit simulates a known
+// payload — the simulated bytes per unit, from which benchreport derives
+// the ns-per-simulated-byte column that compares fidelities (0 = not a
+// byte-moving benchmark).
 func Suite() []struct {
-	Name    string
-	Unit    string
-	Domains int
-	Fn      func(*testing.B)
+	Name     string
+	Unit     string
+	Domains  int
+	SimBytes int64
+	Fn       func(*testing.B)
 } {
+	// Packet benchmarks move full-size 4096-byte payloads
+	// (ethernet.MaxPayload) per delivered data packet.
+	const packetBytes = 4096
 	return []struct {
-		Name    string
-		Unit    string
-		Domains int
-		Fn      func(*testing.B)
+		Name     string
+		Unit     string
+		Domains  int
+		SimBytes int64
+		Fn       func(*testing.B)
 	}{
-		{"PacketHotPath", "packet", 0, PacketHotPath},
-		{"PacketHotPathFatTree", "packet", 0, PacketHotPathFatTree},
-		{"ChoosePath/minimal", "decision", 0, ChoosePath("minimal")},
-		{"ChoosePath/adaptive", "decision", 0, ChoosePath("adaptive")},
-		{"ChoosePath/ecmp", "decision", 0, ChoosePath("ecmp")},
-		{"ChoosePath/valiant", "decision", 0, ChoosePath("valiant")},
-		{"TopoBuild", "build(x3)", 0, TopoBuild},
-		{"RunCell", "cell", 0, RunCell},
-		{"MailboxExchange", "msg", 0, MailboxExchange},
-		{"ParallelRun/d1", "packet", 1, ParallelRun(1)},
-		{"ParallelRun/d2", "packet", 2, ParallelRun(2)},
-		{"ParallelRun/d4", "packet", 4, ParallelRun(4)},
-		{"ParallelRun/d8", "packet", 8, ParallelRun(8)},
+		{"PacketHotPath", "packet", 0, packetBytes, PacketHotPath},
+		{"PacketHotPathFatTree", "packet", 0, packetBytes, PacketHotPathFatTree},
+		{"FlowEngine", "flow", 0, FlowEngineBytes, FlowEngine},
+		{"HybridRun", "packet", 0, packetBytes, HybridRun},
+		{"ChoosePath/minimal", "decision", 0, 0, ChoosePath("minimal")},
+		{"ChoosePath/adaptive", "decision", 0, 0, ChoosePath("adaptive")},
+		{"ChoosePath/ecmp", "decision", 0, 0, ChoosePath("ecmp")},
+		{"ChoosePath/valiant", "decision", 0, 0, ChoosePath("valiant")},
+		{"TopoBuild", "build(x3)", 0, 0, TopoBuild},
+		{"RunCell", "cell", 0, 0, RunCell},
+		{"MailboxExchange", "msg", 0, 0, MailboxExchange},
+		{"ParallelRun/d1", "packet", 1, packetBytes, ParallelRun(1)},
+		{"ParallelRun/d2", "packet", 2, packetBytes, ParallelRun(2)},
+		{"ParallelRun/d4", "packet", 4, packetBytes, ParallelRun(4)},
+		{"ParallelRun/d8", "packet", 8, packetBytes, ParallelRun(8)},
 	}
 }

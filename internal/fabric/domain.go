@@ -140,11 +140,19 @@ func (d *domain) deferTap(at sim.Time, p *Packet) {
 //simlint:hotpath
 func (d *domain) QueuedTo(a, b topology.SwitchID) int64 {
 	n := d.net
+	var bg int64
+	if n.flowBG != nil {
+		// Fluid background load: written only between epochs on the
+		// control engine (see flowTicker), so shard-time reads here can
+		// never observe a torn or mid-publication value — the same
+		// barrier discipline as the snap tables below.
+		bg = n.flowBG[n.bgOff[a]+int32(n.Topo.NeighborIndex(a, b))]
+	}
 	sw := n.switches[a]
 	if sw.dom == d {
-		return liveQueuedTo(sw, b)
+		return liveQueuedTo(sw, b) + bg
 	}
-	return n.snap[n.snapOff[a]+int32(n.Topo.NeighborIndex(a, b))]
+	return n.snap[n.snapOff[a]+int32(n.Topo.NeighborIndex(a, b))] + bg
 }
 
 // liveQueuedTo is the exact queued-byte figure: the least-loaded

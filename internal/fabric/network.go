@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/congestion"
 	"repro/internal/ethernet"
+	"repro/internal/flow"
 	"repro/internal/phy"
 	"repro/internal/qos"
 	"repro/internal/rosetta"
@@ -55,6 +56,12 @@ type Network struct {
 	// The outer slice is sized at build; rows are faulted only by the
 	// domain owning the source switch, so sharded fabrics never race on it.
 	minPaths [][][]topology.Path
+	// selfPaths[s] is the cached single-hop path {s} returned for
+	// intra-switch routing decisions; without it the src == dst shortcut
+	// in route allocated a one-element Path per packet — the dominant
+	// allocator in congestion-grid cells with co-located ranks. Read-only
+	// after build, like the minPaths entries.
+	selfPaths []topology.Path
 
 	// Sharding state (see domain.go). doms always has at least the one
 	// classic domain; par is nil in classic mode.
@@ -66,6 +73,17 @@ type Network struct {
 	snap    []int64
 	snapOff []int32
 	defrBuf defrMerge
+
+	// Fidelity state (see fidelity.go). flowEng is nil at the packet
+	// default; the background tables mirror the snap/snapOff layout and
+	// are written only at epoch barriers (control engine).
+	fid        Fidelity
+	flowEng    *flow.Engine
+	flowTickAt sim.Time
+	flowBG     []int64
+	flowBGEdge []int64
+	bgOff      []int32
+	flowsStarted, flowsCompleted int64
 
 	// Stats. The embedded Counters promote, so n.PacketsDelivered etc.
 	// read as before; sharded runs fold per-domain blocks in here at each
@@ -127,6 +145,12 @@ func (n *Network) build() {
 	// The outer cache spine is sized here so sharded domains fault rows
 	// concurrently without ever touching a shared lazy allocation.
 	n.minPaths = make([][][]topology.Path, topo.Switches())
+	selfIDs := make([]topology.SwitchID, topo.Switches())
+	n.selfPaths = make([]topology.Path, topo.Switches())
+	for i := range selfIDs {
+		selfIDs[i] = topology.SwitchID(i)
+		n.selfPaths[i] = selfIDs[i : i+1 : i+1]
+	}
 	n.switches = make([]*Switch, topo.Switches())
 	for i := range n.switches {
 		rng := n.rng.Split()
@@ -241,6 +265,10 @@ type SendOpts struct {
 	NoRendezvous bool
 	// Tag is an arbitrary caller label (e.g. job ID) readable from taps.
 	Tag int64
+	// Bulk marks a steady background transfer (aggressor stream,
+	// alltoall shuffle) as a candidate for the fluid fast path when the
+	// network runs at FidelityHybrid. Packet-fidelity networks ignore it.
+	Bulk bool
 	// OnDelivered fires at the destination when the last byte lands.
 	OnDelivered func(at sim.Time)
 	// OnAcked fires at the source when the last end-to-end ack returns.
@@ -273,6 +301,10 @@ func (n *Network) Send(src, dst topology.NodeID, bytes int64, opts SendOpts) *Me
 		m.Rendezvous = true
 	}
 	m.Tag = opts.Tag
+	if n.fid != FidelityPacket && n.flowEligible(src, dst, bytes, &opts) {
+		m.SubmittedAt = n.Eng.Now()
+		return n.sendFlow(m)
+	}
 	n.nics[src].submit(m)
 	return m
 }
@@ -313,7 +345,7 @@ func (n *Network) route(s *Switch, srcNode, dstNode topology.NodeID, flowID int6
 	src := s.ID
 	dst := n.Topo.SwitchOf(dstNode)
 	if src == dst {
-		return topology.Path{src}
+		return n.selfPaths[src]
 	}
 	bias := n.Prof.MinimalBias
 	if bias < 1 {
@@ -368,7 +400,7 @@ func (n *Network) QueuedTo(a, b topology.SwitchID) int64 {
 			least = q
 		}
 	}
-	return least
+	return least + ports[0].bgQueued()
 }
 
 // quietRTT estimates the uncongested ack round-trip between two nodes
@@ -454,7 +486,8 @@ func (n *Network) RestoreLinkLanes(a, b topology.SwitchID) {
 // NIC — the quantity endpoint congestion control watches.
 func (n *Network) QueuedAtEdge(node topology.NodeID) int64 {
 	sw := n.switches[n.Topo.SwitchOf(node)]
-	return sw.edgePort(node).queuedBytes()
+	o := sw.edgePort(node)
+	return o.queuedBytes() + o.bgQueued()
 }
 
 // RunFor advances the simulation by d.

@@ -36,6 +36,11 @@ type outPort struct {
 	edge   bool // switch->NIC port: endpoint congestion is detected here
 	global bool // inter-group optical link
 
+	// bgIdx is this port's slot in the fluid background-load tables
+	// (flowBGEdge for edge ports, flowBG for fabric ports), stamped by
+	// SetFidelity; -1 for ports with no slot (NIC injection).
+	bgIdx int32
+
 	// phy models the physical link: lane degrade reduces the effective
 	// bandwidth, and FrameBER>0 injects post-FEC frame errors that LLR
 	// retries (or loses, triggering the NIC end-to-end retry, §II-F).

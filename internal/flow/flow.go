@@ -1,0 +1,350 @@
+// Package flow is the flow-level (fluid) fast path of the simulator: it
+// advances bulk transfers on coarse epochs using a progressive-filling
+// max–min fair-share rate solver over the same topology.Topology the
+// packet engine routes on, instead of moving individual packets through
+// switch queues. A flow is a (src node, dst node, bytes) triple pinned to
+// one cached minimal path; the solver assigns every active flow the
+// max–min fair rate given directed segment capacities, and Advance
+// integrates remaining bytes between rate changes analytically — the only
+// "events" are flow arrivals, flow completions, and the caller's own
+// epoch ticks.
+//
+// Fidelity contract: rates are exact max–min fair shares on the chosen
+// paths, but there is no queuing delay, no adaptive per-packet spreading
+// beyond the per-flow path choice, and no congestion control. Callers
+// that need those effects (victims, incast hotspots, throttled pairs)
+// must keep them on the packet engine — see fabric's hybrid mode. The
+// calibration tests in internal/harness bound the resulting error
+// against the packet engine on golden-scale scenarios.
+//
+// Determinism: the engine is driven from a single goroutine (fabric's
+// control engine), every iteration order is slice order, path choice is
+// deterministic given the active flow set, and completion callbacks fire
+// in (time, enqueue-sequence) order from a binary heap. No maps, no RNG,
+// no wall clock.
+//
+// Steady-state epochs are alloc-free after warm-up: flow records are
+// free-listed, per-segment scratch (residual capacity, unfixed counts,
+// CSR flow lists) lives in engine-owned slices that are re-stamped rather
+// than reallocated, and the callback heap reuses its backing array.
+package flow
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Caps carries the effective (goodput) capacity of each link class in
+// bits per second. The fabric adapter derives these from its Profile by
+// multiplying raw line rate with the Ethernet framing efficiency at the
+// profile's cell size, so a fluid flow saturating a segment moves payload
+// bytes at the same rate a packet stream saturating the link would.
+type Caps struct {
+	EdgeBits   float64 // node<->switch links, each direction
+	LocalBits  float64 // intra-group (electrical) switch links
+	GlobalBits float64 // inter-group (optical) switch links
+	// MaxPaths bounds the cached minimal-path candidates per switch pair
+	// (0 means the fabric default of 4).
+	MaxPaths int
+}
+
+// Hooks receives flow completion callbacks. Delivered fires when the last
+// byte would land at the destination (fluid completion plus the flow's
+// ExtraLatency); Acked fires AckLatency later. The arg is the opaque
+// per-flow value passed to Start — callbacks carry no closures so the
+// spine stays allocation-free.
+type Hooks interface {
+	FlowDelivered(at sim.Time, arg any)
+	FlowAcked(at sim.Time, arg any)
+}
+
+// FlowOpts parameterises one Start call.
+type FlowOpts struct {
+	// ExtraBytes inflates the fluid transfer to charge per-message serial
+	// overheads (host injection gap, rendezvous inter-message gap) as
+	// their bandwidth-equivalent, so streaming throughput calibrates.
+	ExtraBytes int64
+	// ExtraLatency is the quiet-path latency (host gap, NIC, wire
+	// propagation, switch traversals, handshakes) added to the fluid
+	// completion time before Delivered fires.
+	ExtraLatency sim.Time
+	// AckLatency separates Acked from Delivered (reverse-path latency).
+	AckLatency sim.Time
+	// Arg is handed back verbatim to both hooks.
+	Arg any
+}
+
+// Flow is one active fluid transfer. Records are engine-owned and
+// free-listed; callers never hold one past Start.
+type Flow struct {
+	id        int64
+	src, dst  topology.NodeID
+	remaining float64 // payload+overhead bytes left
+	rate      float64 // bits/s, assigned by the solver
+	segs      []int32 // directed segment indices, reused capacity
+	extraLat  sim.Time
+	ackLat    sim.Time
+	arg       any
+}
+
+// pendingCB is a completion callback waiting for its fire time; ack
+// selects which hook. The heap orders by (at, seq) so ties break on
+// enqueue order.
+type pendingCB struct {
+	at  sim.Time
+	seq int64
+	ack bool
+	arg any
+}
+
+// Engine advances a set of fluid flows over directed capacity segments.
+// One segment exists per (switch, dense neighbor index) direction —
+// parallel links between a switch pair pool into one segment, matching
+// the packet engine's round-robin port spreading — plus one per node for
+// each edge-link direction.
+type Engine struct {
+	topo  topology.Topology
+	Hooks Hooks
+
+	// Segment tables, fixed at construction.
+	segCap   []float64 // effective bits/s per segment
+	segOff   []int32   // fabric segment base per switch
+	edgeUp   int32     // segment index base: node -> switch
+	edgeDown int32     // segment index base: switch -> node
+	nSeg     int
+
+	maxPaths int
+	minPaths [][][]topology.Path // lazy cache rows [src][dst]
+
+	active   []*Flow
+	freeList []*Flow
+	nextID   int64
+	nextSeq  int64
+
+	segFlows []int32 // live flow count per segment (path choice)
+	activeTo []int32 // active bulk flows per destination node
+
+	// Solver scratch, stamped per solve.
+	dirty    bool
+	stamp    int32
+	segStamp []int32   // last stamp that touched the segment
+	segSlot  []int32   // segment -> slot in the touched arrays
+	touched  []int32   // segments used by the current active set
+	resid    []float64 // per-slot residual capacity
+	unfixed  []int32   // per-slot count of unfixed flows
+	csrStart []int32   // per-slot CSR bounds into csrFlow
+	csrPos   []int32
+	csrFlow  []int32 // flow indices grouped by slot
+	segRate  []float64 // per-segment allocated bits/s (persistent, for BG export)
+	rated    []int32   // segments with nonzero segRate (to clear next solve)
+
+	now        sim.Time
+	progressed float64 // whole+fractional bytes advanced since TakeProgress
+
+	cbs []pendingCB // binary heap by (at, seq)
+}
+
+// NewEngine builds the segment capacity tables for topo. Capacities pool
+// parallel links: a Dragonfly pair joined by two global links yields one
+// segment at twice GlobalBits, which is how the packet engine's
+// round-robin over parallel ports behaves in aggregate.
+func NewEngine(topo topology.Topology, caps Caps) *Engine {
+	e := &Engine{topo: topo, maxPaths: caps.MaxPaths}
+	if e.maxPaths <= 0 {
+		e.maxPaths = 4
+	}
+	sw, nodes := topo.Switches(), topo.Nodes()
+	e.segOff = make([]int32, sw+1)
+	for s := 0; s < sw; s++ {
+		e.segOff[s+1] = e.segOff[s] + int32(topo.NeighborCount(topology.SwitchID(s)))
+	}
+	fabricSegs := int(e.segOff[sw])
+	e.edgeUp = int32(fabricSegs)
+	e.edgeDown = int32(fabricSegs + nodes)
+	e.nSeg = fabricSegs + 2*nodes
+	e.segCap = make([]float64, e.nSeg)
+	for _, lk := range topo.Links() {
+		switch lk.Kind {
+		case topology.EdgeLink:
+			e.segCap[e.edgeUp+int32(lk.Node)] = caps.EdgeBits
+			e.segCap[e.edgeDown+int32(lk.Node)] = caps.EdgeBits
+		case topology.LocalLink, topology.GlobalLink:
+			bits := caps.LocalBits
+			if lk.Kind == topology.GlobalLink {
+				bits = caps.GlobalBits
+			}
+			e.segCap[e.segOff[lk.A]+int32(topo.NeighborIndex(lk.A, lk.B))] += bits
+			e.segCap[e.segOff[lk.B]+int32(topo.NeighborIndex(lk.B, lk.A))] += bits
+		}
+	}
+	e.minPaths = make([][][]topology.Path, sw)
+	e.segFlows = make([]int32, e.nSeg)
+	e.activeTo = make([]int32, nodes)
+	e.segStamp = make([]int32, e.nSeg)
+	e.segSlot = make([]int32, e.nSeg)
+	e.segRate = make([]float64, e.nSeg)
+	return e
+}
+
+// Now returns the engine's fluid clock (the last Advance target).
+func (e *Engine) Now() sim.Time { return e.now }
+
+// Active returns the number of in-flight flows.
+func (e *Engine) Active() int { return len(e.active) }
+
+// ActiveTo returns the number of in-flight flows destined to node n —
+// the hybrid classifier's incast fan-in signal.
+func (e *Engine) ActiveTo(n topology.NodeID) int { return int(e.activeTo[n]) }
+
+// SegmentRate returns the solver-allocated bits/s on the fabric segment
+// from switch s towards its nbIdx-th neighbor, and the segment's
+// capacity. Valid after the last Advance/Start (the solver runs lazily;
+// call Resolve first if rates must be fresh).
+func (e *Engine) SegmentRate(s topology.SwitchID, nbIdx int) (rate, cap float64) {
+	i := e.segOff[s] + int32(nbIdx)
+	return e.segRate[i], e.segCap[i]
+}
+
+// EdgeDownRate returns allocated bits/s and capacity on the switch->node
+// edge segment of n.
+func (e *Engine) EdgeDownRate(n topology.NodeID) (rate, cap float64) {
+	i := e.edgeDown + int32(n)
+	return e.segRate[i], e.segCap[i]
+}
+
+// EdgeUpRate returns allocated bits/s and capacity on the node->switch
+// edge segment of n.
+func (e *Engine) EdgeUpRate(n topology.NodeID) (rate, cap float64) {
+	i := e.edgeUp + int32(n)
+	return e.segRate[i], e.segCap[i]
+}
+
+// TakeProgress returns the whole bytes delivered by fluid progress since
+// the previous call, retaining the fractional remainder. The adapter
+// feeds this into its delivered-bytes counters so bandwidth measurements
+// see smooth progress rather than end-of-flow steps.
+func (e *Engine) TakeProgress() int64 {
+	whole := int64(e.progressed)
+	e.progressed -= float64(whole)
+	return whole
+}
+
+// Resolve runs the fair-share solver if the active set changed since the
+// last solve. Exposed so background-load publication can snapshot fresh
+// rates without advancing time.
+func (e *Engine) Resolve() {
+	if e.dirty {
+		e.solve()
+	}
+}
+
+// Start admits a fluid flow of bytes payload bytes from src to dst and
+// returns its id. Path choice is deterministic: among the cached minimal
+// candidates, the one whose most-loaded fabric segment carries the
+// fewest flows (ties: fewer total flows, then candidate order).
+func (e *Engine) Start(src, dst topology.NodeID, bytes int64, opt FlowOpts) int64 {
+	f := e.alloc()
+	f.src, f.dst = src, dst
+	f.remaining = float64(bytes + opt.ExtraBytes)
+	f.rate = 0
+	f.extraLat = opt.ExtraLatency
+	f.ackLat = opt.AckLatency
+	f.arg = opt.Arg
+	e.buildSegs(f)
+	for _, s := range f.segs {
+		e.segFlows[s]++
+	}
+	e.activeTo[dst]++
+	e.active = append(e.active, f)
+	e.dirty = true
+	return f.id
+}
+
+// alloc takes a flow record off the free list (or mints one) and stamps
+// a fresh id.
+func (e *Engine) alloc() *Flow {
+	var f *Flow
+	if n := len(e.freeList); n > 0 {
+		f = e.freeList[n-1]
+		e.freeList = e.freeList[:n-1]
+	} else {
+		f = &Flow{}
+	}
+	e.nextID++
+	f.id = e.nextID
+	return f
+}
+
+// buildSegs fills f.segs with the directed segments of the chosen path:
+// edge up, fabric hops, edge down.
+func (e *Engine) buildSegs(f *Flow) {
+	f.segs = f.segs[:0]
+	f.segs = append(f.segs, e.edgeUp+int32(f.src))
+	a, b := e.topo.SwitchOf(f.src), e.topo.SwitchOf(f.dst)
+	if a != b {
+		p := e.choosePath(a, b)
+		for i := 0; i+1 < len(p); i++ {
+			nb := e.topo.NeighborIndex(p[i], p[i+1])
+			f.segs = append(f.segs, e.segOff[p[i]]+int32(nb))
+		}
+	}
+	f.segs = append(f.segs, e.edgeDown+int32(f.dst))
+}
+
+// choosePath picks among the cached minimal candidates by current flow
+// load — a cheap stand-in for the packet engine's adaptive spreading
+// that keeps parallel minimal routes evenly filled.
+func (e *Engine) choosePath(a, b topology.SwitchID) topology.Path {
+	cands := e.candidates(a, b)
+	best := 0
+	bestMax, bestSum := int32(1<<30), int32(1<<30)
+	for ci, p := range cands {
+		var mx, sum int32
+		for i := 0; i+1 < len(p); i++ {
+			s := e.segOff[p[i]] + int32(e.topo.NeighborIndex(p[i], p[i+1]))
+			n := e.segFlows[s]
+			if n > mx {
+				mx = n
+			}
+			sum += n
+		}
+		if mx < bestMax || (mx == bestMax && sum < bestSum) {
+			best, bestMax, bestSum = ci, mx, sum
+		}
+	}
+	return cands[best]
+}
+
+// candidates returns the cached minimal paths a->b, building the row on
+// first use (MinimalPaths is deterministic and RNG-free by the Topology
+// contract, so the returned slices cache safely).
+func (e *Engine) candidates(a, b topology.SwitchID) []topology.Path {
+	row := e.minPaths[a]
+	if row == nil {
+		row = make([][]topology.Path, e.topo.Switches())
+		e.minPaths[a] = row
+	}
+	ps := row[b]
+	if ps == nil {
+		ps = e.topo.MinimalPaths(a, b, e.maxPaths)
+		row[b] = ps
+	}
+	return ps
+}
+
+// remove drops active[i] (swap with last; deterministic given the call
+// sequence) and returns the record to the free list.
+func (e *Engine) remove(i int) {
+	f := e.active[i]
+	for _, s := range f.segs {
+		e.segFlows[s]--
+	}
+	e.activeTo[f.dst]--
+	last := len(e.active) - 1
+	e.active[i] = e.active[last]
+	e.active[last] = nil
+	e.active = e.active[:last]
+	f.arg = nil
+	e.freeList = append(e.freeList, f)
+	e.dirty = true
+}

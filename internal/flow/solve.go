@@ -1,0 +1,289 @@
+package flow
+
+import "repro/internal/sim"
+
+// completionEps absorbs float rounding when deciding a flow has drained:
+// the per-step deltas are exact to ~1e-5 bytes at simulation magnitudes,
+// so a hundredth of a byte is safely past any residue.
+const completionEps = 0.01
+
+// solve assigns every active flow its max–min fair rate by progressive
+// filling: repeatedly find the segment with the smallest fair share
+// (residual capacity / unfixed flows), fix that share for its flows, and
+// subtract them from every segment they cross. All iteration is in slice
+// order over engine-owned scratch, so the result is deterministic and the
+// steady state allocates nothing once the arrays have grown.
+//
+//simlint:hotpath
+func (e *Engine) solve() {
+	e.dirty = false
+	// Clear the previous solution's per-segment rates.
+	for _, s := range e.rated {
+		e.segRate[s] = 0
+	}
+	e.rated = e.rated[:0]
+	if len(e.active) == 0 {
+		return
+	}
+
+	// Stamp the touched segment set and count flows per segment.
+	e.stamp++
+	e.touched = e.touched[:0]
+	for _, f := range e.active {
+		f.rate = -1
+		for _, s := range f.segs {
+			if e.segStamp[s] != e.stamp {
+				e.segStamp[s] = e.stamp
+				e.segSlot[s] = int32(len(e.touched))
+				e.touched = append(e.touched, s)
+			}
+		}
+	}
+	ns := len(e.touched)
+	e.resid = grow(e.resid, ns)
+	e.unfixed = grow32(e.unfixed, ns)
+	e.csrStart = grow32(e.csrStart, ns+1)
+	e.csrPos = grow32(e.csrPos, ns)
+	for i, s := range e.touched {
+		e.resid[i] = e.segCap[s]
+		e.unfixed[i] = 0
+	}
+	for _, f := range e.active {
+		for _, s := range f.segs {
+			e.unfixed[e.segSlot[s]]++
+		}
+	}
+
+	// CSR: group flow indices by slot so "the flows on segment s" is a
+	// contiguous scan.
+	e.csrStart[0] = 0
+	for i := 0; i < ns; i++ {
+		e.csrStart[i+1] = e.csrStart[i] + e.unfixed[i]
+		e.csrPos[i] = e.csrStart[i]
+	}
+	total := int(e.csrStart[ns])
+	e.csrFlow = grow32(e.csrFlow, total)
+	for fi, f := range e.active {
+		for _, s := range f.segs {
+			sl := e.segSlot[s]
+			e.csrFlow[e.csrPos[sl]] = int32(fi)
+			e.csrPos[sl]++
+		}
+	}
+
+	// Progressive filling.
+	remaining := len(e.active)
+	for remaining > 0 {
+		bottleneck, share := -1, 0.0
+		for i := 0; i < ns; i++ {
+			if e.unfixed[i] <= 0 {
+				continue
+			}
+			s := e.resid[i] / float64(e.unfixed[i])
+			if bottleneck < 0 || s < share {
+				bottleneck, share = i, s
+			}
+		}
+		if bottleneck < 0 {
+			break // defensive: every flow crosses its edge segments
+		}
+		if share < 0 {
+			share = 0
+		}
+		for ci := e.csrStart[bottleneck]; ci < e.csrStart[bottleneck+1]; ci++ {
+			f := e.active[e.csrFlow[ci]]
+			if f.rate >= 0 {
+				continue
+			}
+			f.rate = share
+			remaining--
+			for _, s := range f.segs {
+				sl := e.segSlot[s]
+				e.resid[sl] -= share
+				e.unfixed[sl]--
+			}
+		}
+	}
+
+	// Export per-segment allocated rates for background-load publication.
+	for _, f := range e.active {
+		for _, s := range f.segs {
+			if e.segRate[s] == 0 {
+				e.rated = append(e.rated, s)
+			}
+			e.segRate[s] += f.rate
+		}
+	}
+}
+
+// completionTime projects when f drains at its current rate.
+//
+//simlint:hotpath
+func (e *Engine) completionTime(f *Flow) sim.Time {
+	if f.rate <= 0 {
+		return sim.Forever
+	}
+	ps := f.remaining * 8e12 / f.rate
+	if ps >= float64(sim.Forever)-float64(e.now) {
+		return sim.Forever
+	}
+	t := e.now + sim.Time(ps)
+	if float64(t-e.now) < ps {
+		t++ // ceil: never project completion before the last byte lands
+	}
+	return t
+}
+
+// NextWake returns the earliest time Advance has work to do: the nearest
+// projected completion or pending callback. Forever when idle.
+//
+//simlint:hotpath
+func (e *Engine) NextWake() sim.Time {
+	if e.dirty {
+		e.solve()
+	}
+	next := sim.Forever
+	for _, f := range e.active {
+		if t := e.completionTime(f); t < next {
+			next = t
+		}
+	}
+	if len(e.cbs) > 0 && e.cbs[0].at < next {
+		next = e.cbs[0].at
+	}
+	return next
+}
+
+// Advance integrates fluid progress to time to, firing any completions
+// and callbacks that fall in (now, to]. Completion hooks run inline in
+// (time, sequence) order; they may Start new flows (the solver re-runs
+// lazily). Advance never runs backwards: to earlier than now is a no-op.
+//
+//simlint:hotpath
+func (e *Engine) Advance(to sim.Time) {
+	for {
+		if e.dirty {
+			e.solve()
+		}
+		// Next rate-change boundary: the earliest projected completion.
+		step := to
+		for _, f := range e.active {
+			if t := e.completionTime(f); t < step {
+				step = t
+			}
+		}
+		if len(e.cbs) > 0 && e.cbs[0].at < step {
+			step = e.cbs[0].at
+		}
+		if step > e.now {
+			dt := float64(step-e.now) / 8e12 // ps -> bytes/bit-rate factor
+			for _, f := range e.active {
+				d := f.rate * dt
+				if d > f.remaining {
+					d = f.remaining
+				}
+				f.remaining -= d
+				e.progressed += d
+			}
+			e.now = step
+		}
+		// Retire drained flows (scan backwards so swap-removal keeps
+		// unvisited entries stable).
+		for i := len(e.active) - 1; i >= 0; i-- {
+			f := e.active[i]
+			if f.remaining > completionEps {
+				continue
+			}
+			// Credit the sub-epsilon residue so delivered-byte accounting
+			// sums exactly to the payload.
+			e.progressed += f.remaining
+			f.remaining = 0
+			e.pushCB(pendingCB{at: e.now + f.extraLat, seq: e.seq(), arg: f.arg})
+			e.pushCB(pendingCB{at: e.now + f.extraLat + f.ackLat, seq: e.seq(), ack: true, arg: f.arg})
+			e.remove(i)
+		}
+		// Fire due callbacks.
+		for len(e.cbs) > 0 && e.cbs[0].at <= e.now {
+			cb := e.popCB()
+			if cb.ack {
+				e.Hooks.FlowAcked(cb.at, cb.arg)
+			} else {
+				e.Hooks.FlowDelivered(cb.at, cb.arg)
+			}
+		}
+		if e.now >= to {
+			return
+		}
+	}
+}
+
+func (e *Engine) seq() int64 {
+	e.nextSeq++
+	return e.nextSeq
+}
+
+// pushCB / popCB maintain the callback min-heap ordered by (at, seq).
+// Hand-rolled sift on an engine-owned slice: container/heap would box
+// every element through interface{}.
+//
+//simlint:hotpath
+func (e *Engine) pushCB(cb pendingCB) {
+	e.cbs = append(e.cbs, cb)
+	i := len(e.cbs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !cbLess(e.cbs[i], e.cbs[p]) {
+			break
+		}
+		e.cbs[i], e.cbs[p] = e.cbs[p], e.cbs[i]
+		i = p
+	}
+}
+
+//simlint:hotpath
+func (e *Engine) popCB() pendingCB {
+	top := e.cbs[0]
+	last := len(e.cbs) - 1
+	e.cbs[0] = e.cbs[last]
+	e.cbs[last] = pendingCB{}
+	e.cbs = e.cbs[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && cbLess(e.cbs[l], e.cbs[small]) {
+			small = l
+		}
+		if r < n && cbLess(e.cbs[r], e.cbs[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		e.cbs[i], e.cbs[small] = e.cbs[small], e.cbs[i]
+		i = small
+	}
+	return top
+}
+
+func cbLess(a, b pendingCB) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// grow returns s resized to n entries, reusing capacity.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n, n*2)
+	}
+	return s[:n]
+}
+
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n, n*2)
+	}
+	return s[:n]
+}

@@ -62,6 +62,7 @@ func Fig12Bursty(opt Options, msgSizes []int64, bursts []int, gapsUS []int64) Fi
 	}
 	sys := Malbec(opt.Nodes * 2)
 	sys.Domains = opt.Domains
+	sys.Fidelity = opt.fidelity()
 	victim := BenchVictim(workloads.AlltoallBench(128))
 	type cellSpec struct {
 		msg   int64
@@ -85,13 +86,15 @@ func Fig12Bursty(opt Options, msgSizes []int64, bursts []int, gapsUS []int64) Fi
 		vNodes, aNodes := placement.Split(opt.Nodes, opt.Nodes/2,
 			placement.Interleaved, nil)
 		vjob := mpi.NewJob(net, vNodes, mpi.JobOpts{Stack: mpi.MPI, Tag: 1})
-		iso := measureVictim(vjob, victim, rng.Split(), opt.MinIters, opt.MaxIters)
+		iso := stats.NewSample(opt.MaxIters)
+		measureVictim(iso, vjob, victim, rng.Split(), opt.MinIters, opt.MaxIters)
 
 		ajob := mpi.NewJob(net, aNodes, mpi.JobOpts{Stack: mpi.MPI, Tag: 2})
 		agg := workloads.StartBurstyIncast(ajob, c.msg, c.burst,
 			sim.Time(c.gap)*sim.Microsecond)
 		net.RunFor(200 * sim.Microsecond)
-		cong := measureVictim(vjob, victim, rng.Split(), opt.MinIters, opt.MaxIters)
+		cong := stats.NewSample(opt.MaxIters)
+		measureVictim(cong, vjob, victim, rng.Split(), opt.MinIters, opt.MaxIters)
 		agg.Stop()
 
 		return Fig12Cell{

@@ -58,6 +58,7 @@ func Fig2SwitchLatency(opt Options) Fig2Result {
 	opt = opt.withDefaults(fig2Defaults)
 	sys := Shandy(opt.Nodes)
 	sys.Domains = opt.Domains
+	sys.Fidelity = opt.fidelity()
 	net := sys.build(opt.Seed)
 	nps := sys.Topo.NodesPerSwitch
 
@@ -126,6 +127,7 @@ func Fig4Distance(opt Options) Fig4Result {
 	opt = opt.withDefaults(fig4Defaults)
 	sys := Shandy(opt.Nodes)
 	sys.Domains = opt.Domains
+	sys.Fidelity = opt.fidelity()
 	nps := sys.Topo.NodesPerSwitch
 	npg := nps * sys.Topo.SwitchesPerGroup
 	dists := []struct {
@@ -248,6 +250,7 @@ func Fig5Stacks(opt Options) Fig5Result {
 	opt = opt.withDefaults(fig5Defaults)
 	sys := Shandy(opt.Nodes)
 	sys.Domains = opt.Domains
+	sys.Fidelity = opt.fidelity()
 	npg := sys.Topo.NodesPerSwitch * sys.Topo.SwitchesPerGroup
 	type point struct {
 		stack mpi.Stack

@@ -50,6 +50,7 @@ func Fig6Bisection(opt Options) Fig6Result {
 	opt = opt.withDefaults(fig6Defaults)
 	sys := Shandy(opt.Nodes)
 	sys.Domains = opt.Domains
+	sys.Fidelity = opt.fidelity()
 	topo := topology.MustNew(sys.Topo)
 	res := Fig6Result{
 		BisectionPeakTBits: float64(topo.BisectionPeakBits(topology.LinkBits)) / 1e12,

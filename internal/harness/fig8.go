@@ -53,6 +53,7 @@ func Fig8Tailbench(opt Options) Fig8Result {
 	var pairs []pair
 	for _, sys := range gridSystems(opt.Nodes) {
 		sys.Domains = opt.Domains
+		sys.Fidelity = opt.fidelity()
 		for _, app := range workloads.DCAppsScaled(dcServiceScale) {
 			pairs = append(pairs, pair{sys, app})
 		}

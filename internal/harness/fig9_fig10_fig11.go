@@ -106,6 +106,7 @@ func congestionGrid(opt Options, victims []Victim, alloc placement.Policy, syste
 	seed := opt.Seed
 	for _, sys := range systems {
 		sys.Domains = opt.Domains
+		sys.Fidelity = opt.fidelity()
 		for _, kind := range []AggressorKind{AlltoallAggressor, IncastAggressor} {
 			for _, vf := range splits {
 				res.Rows = append(res.Rows, Fig9RowResult{

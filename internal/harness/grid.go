@@ -3,10 +3,12 @@ package harness
 import (
 	"math"
 
+	"repro/internal/fabric"
 	"repro/internal/mpi"
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/topology"
 	"repro/internal/workloads"
 )
 
@@ -140,10 +142,47 @@ func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
 // encoders would expose that artifact as a grouping key.
 func aggrFrac(vf float64) float64 { return math.Round((1-vf)*1e6) / 1e6 }
 
+// cellArena is per-worker scratch a RunGrid worker reuses across the
+// cells it measures: the isolated/congested stats accumulators and the
+// placement node buffer. Everything in it is reset (or fully rewritten)
+// at the start of each cell, so arena reuse cannot leak state between
+// cells — it only removes steady-state allocations from the harness side
+// of the measurement loop.
+type cellArena struct {
+	iso, cong *stats.Sample
+	nodes     []topology.NodeID
+}
+
+// samples returns the two reset measurement accumulators, growing them to
+// at least capacity on first use (or after a larger cell).
+func (a *cellArena) samples(capacity int) (iso, cong *stats.Sample) {
+	if a.iso == nil || a.iso.Cap() < capacity {
+		a.iso = stats.NewSample(capacity)
+		a.cong = stats.NewSample(capacity)
+	}
+	a.iso.Reset()
+	a.cong.Reset()
+	return a.iso, a.cong
+}
+
+// nodeBuf returns a buffer with capacity for total node IDs.
+func (a *cellArena) nodeBuf(total int) []topology.NodeID {
+	if cap(a.nodes) < total {
+		a.nodes = make([]topology.NodeID, total)
+	}
+	return a.nodes[:0]
+}
+
 // RunCell measures the congestion impact of one victim/aggressor pairing
 // following §III-A: measure the victim isolated, start the aggressor, warm
 // up, measure again, report C = Tc/Ti of the means.
 func RunCell(spec CellSpec, v Victim) CellResult {
+	return runCellArena(spec, v, &cellArena{})
+}
+
+// runCellArena is RunCell drawing its harness-side scratch from a
+// (possibly shared-across-cells) arena.
+func runCellArena(spec CellSpec, v Victim, arena *cellArena) CellResult {
 	res := CellResult{
 		Victim:    v.Label,
 		Aggressor: spec.Aggressor.String(),
@@ -164,7 +203,7 @@ func RunCell(spec CellSpec, v Victim) CellResult {
 	}
 	net := spec.Sys.build(spec.Seed)
 	rng := sim.NewRNG(spec.Seed ^ 0x9e3779b9)
-	victimNodes, aggrNodes := placement.Split(total, nv, spec.Alloc, rng.Split())
+	victimNodes, aggrNodes := placement.SplitBuf(arena.nodeBuf(total), total, nv, spec.Alloc, rng.Split())
 
 	vjob := mpi.NewJob(net, victimNodes, mpi.JobOpts{Stack: mpi.MPI, Tag: 1})
 	minIters, maxIters := spec.MinIters, spec.MaxIters
@@ -179,11 +218,16 @@ func RunCell(spec CellSpec, v Victim) CellResult {
 		}
 	}
 
-	iso := measureVictim(vjob, v, rng.Split(), minIters, maxIters)
+	iso, cong := arena.samples(maxIters)
+	measureVictim(iso, vjob, v, rng.Split(), minIters, maxIters)
 	res.Isolated = iso.Mean()
 
+	// On hybrid/flow-fidelity systems the aggressor is exactly the bulk
+	// steady traffic the fluid fast path exists for; victims stay
+	// untagged so their transfers keep packet-level treatment.
 	ajob := mpi.NewJob(net, aggrNodes, mpi.JobOpts{
 		PPN: spec.AggrPPN, Stack: mpi.MPI, Tag: 2,
+		Bulk: spec.Sys.Fidelity != fabric.FidelityPacket,
 	})
 	var agg *workloads.Aggressor
 	if spec.Aggressor == IncastAggressor {
@@ -197,7 +241,7 @@ func RunCell(spec CellSpec, v Victim) CellResult {
 	}
 	net.RunFor(warm)
 
-	cong := measureVictim(vjob, v, rng.Split(), minIters, maxIters)
+	measureVictim(cong, vjob, v, rng.Split(), minIters, maxIters)
 	res.Congested = cong.Mean()
 	agg.Stop()
 
@@ -205,8 +249,9 @@ func RunCell(spec CellSpec, v Victim) CellResult {
 	return res
 }
 
-func measureVictim(j *mpi.Job, v Victim, rng *sim.RNG, minIters, maxIters int) *stats.Sample {
-	s := stats.NewSample(maxIters)
+// measureVictim runs the victim's measurement loop, accumulating
+// iteration times into the caller-owned (typically arena-recycled) s.
+func measureVictim(s *stats.Sample, j *mpi.Job, v Victim, rng *sim.RNG, minIters, maxIters int) {
 	net := j.Net
 	for i := 0; i < maxIters; i++ {
 		start := net.Now()
@@ -221,5 +266,4 @@ func measureVictim(j *mpi.Job, v Victim, rng *sim.RNG, minIters, maxIters int) *
 			break
 		}
 	}
-	return s
 }

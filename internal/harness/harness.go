@@ -53,6 +53,21 @@ type Options struct {
 	// CC restricts policy-compare to one congestion-control backend
 	// (congestion.Names(); "" sweeps slingshot, ecn and delay).
 	CC string
+	// Fidelity selects how every cell's network moves bytes:
+	// "packet" (default, the golden level), "flow", or "hybrid"
+	// (fabric.ParseFidelity). Threaded to each System RunGrid builds.
+	Fidelity string
+}
+
+// fidelity parses Options.Fidelity, panicking on a spelling ParseFidelity
+// rejects — the CLI validates first, so a bad value here is programmer
+// error.
+func (o Options) fidelity() fabric.Fidelity {
+	f, err := fabric.ParseFidelity(o.Fidelity)
+	if err != nil {
+		panic(err)
+	}
+	return f
 }
 
 // withDefaults fills zero fields from an experiment's default options
@@ -113,6 +128,9 @@ type System struct {
 	// Domains is the sharded-engine worker budget passed to
 	// fabric.NewSharded (0 = classic engine); see Options.Domains.
 	Domains int
+	// Fidelity is applied to every network built for this system
+	// (fabric.SetFidelity); the zero value is the packet engine.
+	Fidelity fabric.Fidelity
 }
 
 // Shandy returns the 1024-node Slingshot system (scaled to n nodes when
@@ -171,7 +189,11 @@ func (s System) build(seed uint64) *fabric.Network {
 	if b == nil {
 		b = s.Topo // zero config: Validate reports the empty system
 	}
-	return fabric.NewSharded(topology.MustBuild(b), s.Prof, seed, s.Domains)
+	n := fabric.NewSharded(topology.MustBuild(b), s.Prof, seed, s.Domains)
+	if s.Fidelity != fabric.FidelityPacket {
+		n.SetFidelity(s.Fidelity)
+	}
+	return n
 }
 
 // nodeRange returns the first n node IDs.

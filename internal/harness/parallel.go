@@ -20,26 +20,49 @@ type GridPoint struct {
 // means GOMAXPROCS) and returns results in point order. Because each
 // point's seed is fixed up front and results are written by index, the
 // output is identical for any worker count — jobs trades wall-clock time
-// only, never determinism.
+// only, never determinism. Each worker owns a cellArena of reusable
+// harness scratch (stats accumulators, placement buffers), so steady-state
+// cells stop re-allocating measurement-side state; arenas never influence
+// results, only allocation counts.
 func RunGrid(points []GridPoint, jobs int) []CellResult {
 	out := make([]CellResult, len(points))
-	parallelFor(len(points), jobs, func(i int) {
-		out[i] = RunCell(points[i].Spec, points[i].Victim)
+	arenas := make([]cellArena, poolWidth(len(points), jobs))
+	parallelForWorkers(len(points), jobs, func(w, i int) {
+		out[i] = runCellArena(points[i].Spec, points[i].Victim, &arenas[w])
 	})
 	return out
 }
 
-// parallelFor runs f(0..n-1) across up to jobs goroutines.
-func parallelFor(n, jobs int, f func(int)) {
+// poolWidth resolves the effective worker count parallelForWorkers will
+// use for n items and a requested jobs value.
+func poolWidth(n, jobs int) int {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	if jobs > n {
 		jobs = n
 	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	return jobs
+}
+
+// parallelFor runs f(0..n-1) across up to jobs goroutines.
+func parallelFor(n, jobs int, f func(int)) {
+	parallelForWorkers(n, jobs, func(_, i int) { f(i) })
+}
+
+// parallelForWorkers is parallelFor with the worker index exposed:
+// f(w, i) runs item i on worker w, where w < poolWidth(n, jobs). Items
+// are handed out dynamically, so w carries no meaning beyond "at most
+// one f call with this w runs at a time" — exactly the property
+// per-worker arenas need.
+func parallelForWorkers(n, jobs int, f func(worker, i int)) {
+	jobs = poolWidth(n, jobs)
 	if jobs <= 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			f(0, i)
 		}
 		return
 	}
@@ -47,16 +70,16 @@ func parallelFor(n, jobs int, f func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(jobs)
 	for w := 0; w < jobs; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				f(i)
+				f(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -120,6 +120,7 @@ func PolicyCompare(opt Options) (PolicyCompareResult, error) {
 					return PolicyCompareResult{}, err
 				}
 				sys.Domains = opt.Domains
+				sys.Fidelity = opt.fidelity()
 				res.Rows = append(res.Rows, PolicyRowResult{
 					Topo: topoName, Routing: routingName, CC: ccName,
 				})

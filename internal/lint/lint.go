@@ -214,6 +214,7 @@ var corePackages = map[string]bool{
 	"repro/internal/sim":        true,
 	"repro/internal/sim/par":    true,
 	"repro/internal/fabric":     true,
+	"repro/internal/flow":       true,
 	"repro/internal/topology":   true,
 	"repro/internal/routing":    true,
 	"repro/internal/congestion": true,

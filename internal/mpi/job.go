@@ -22,6 +22,18 @@ type Job struct {
 	// a high-priority, low-bandwidth class while bulk transfers ride a
 	// high-bandwidth one.
 	LatencyClass int
+	// Bulk marks every transfer this job sends as steady background
+	// traffic (fabric.SendOpts.Bulk) — a candidate for the flow-level
+	// fast path on hybrid-fidelity networks. Ignored at packet fidelity.
+	Bulk bool
+
+	// opFree recycles sendOps across transfers. Safe without locking:
+	// send() runs from engine callbacks, sendOp.OnEvent on the control
+	// engine, and delivery callbacks are deferred to epoch barriers under
+	// the sharded engine — all serialized with respect to each other.
+	opFree []*sendOp
+	// pmFree recycles planMsg records (plan.go) under the same rule.
+	pmFree []*planMsg
 }
 
 // LatencyClassBytes is the size at or below which messages use the job's
@@ -38,6 +50,9 @@ type JobOpts struct {
 	// alongside UseLatencyClass=false) disables per-size class selection.
 	LatencyClass    int
 	UseLatencyClass bool
+	// Bulk marks the job's traffic for the hybrid flow-level fast path;
+	// see Job.Bulk.
+	Bulk bool
 }
 
 // NewJob creates a job over the given nodes. PPN ranks run on each node
@@ -61,6 +76,7 @@ func NewJob(net *fabric.Network, nodes []topology.NodeID, opts JobOpts) *Job {
 		Class:        opts.Class,
 		Tag:          opts.Tag,
 		LatencyClass: lat,
+		Bulk:         opts.Bulk,
 	}
 }
 
@@ -90,7 +106,8 @@ func (j *Job) Put(from, to int, bytes int64, cb func(at sim.Time)) {
 // sendOp is the pending state of one rank-to-rank transfer between the
 // sender-overhead event firing and the fabric submit; it is also the
 // event handler for that firing, so the send path allocates one small
-// struct instead of a nest of closures.
+// struct instead of a nest of closures — and that struct is free-listed
+// on the Job, so steady-state transfers allocate nothing at all.
 type sendOp struct {
 	j        *Job
 	src, dst topology.NodeID
@@ -99,6 +116,27 @@ type sendOp struct {
 	noRendez bool
 	recvOH   sim.Time
 	cb       func(at sim.Time)
+	// deliveredFn caches the s.delivered method value (one closure per
+	// pooled op instead of one per transfer).
+	deliveredFn func(sim.Time)
+}
+
+// newOp pops a recycled sendOp or mints one.
+func (j *Job) newOp() *sendOp {
+	if n := len(j.opFree); n > 0 {
+		op := j.opFree[n-1]
+		j.opFree = j.opFree[:n-1]
+		return op
+	}
+	op := &sendOp{}
+	op.deliveredFn = op.delivered
+	return op
+}
+
+// freeOp returns a finished sendOp to the job's pool.
+func (j *Job) freeOp(op *sendOp) {
+	op.cb = nil
+	j.opFree = append(j.opFree, op)
 }
 
 func (s *sendOp) OnEvent(_ *sim.Engine, _ *sim.Event) {
@@ -106,17 +144,27 @@ func (s *sendOp) OnEvent(_ *sim.Engine, _ *sim.Event) {
 		Class:        s.class,
 		Tag:          s.j.Tag,
 		NoRendezvous: s.noRendez,
+		Bulk:         s.j.Bulk,
 	}
 	if s.cb != nil {
-		opts.OnDelivered = s.delivered
+		opts.OnDelivered = s.deliveredFn
 	}
-	s.j.Net.Send(s.src, s.dst, s.bytes, opts)
+	j := s.j
+	j.Net.Send(s.src, s.dst, s.bytes, opts)
+	// Without a delivery callback nothing references the op past the
+	// submit; with one, delivered() recycles it.
+	if s.cb == nil {
+		j.freeOp(s)
+	}
 }
 
 // delivered defers the caller's completion callback by the receiver-side
-// software overhead.
+// software overhead, then recycles the op (the fabric fires OnDelivered
+// exactly once per message).
 func (s *sendOp) delivered(sim.Time) {
-	s.j.Net.Eng.After(s.recvOH, timeCB{}, 0, s.cb)
+	j, cb := s.j, s.cb
+	j.Net.Eng.After(s.recvOH, timeCB{}, 0, cb)
+	j.freeOp(s)
 }
 
 // timeCB invokes the func(sim.Time) in Data with the fire time.
@@ -127,16 +175,14 @@ func (timeCB) OnEvent(e *sim.Engine, ev *sim.Event) {
 }
 
 func (j *Job) send(from, to int, bytes int64, oneSided bool, cb func(at sim.Time)) {
-	op := &sendOp{
-		j:        j,
-		src:      j.Node(from),
-		dst:      j.Node(to),
-		bytes:    bytes,
-		class:    j.Class,
-		noRendez: j.Stack.Sockets() || oneSided,
-		recvOH:   j.Stack.RecvOverhead(bytes),
-		cb:       cb,
-	}
+	op := j.newOp()
+	op.j = j
+	op.src, op.dst = j.Node(from), j.Node(to)
+	op.bytes = bytes
+	op.class = j.Class
+	op.noRendez = j.Stack.Sockets() || oneSided
+	op.recvOH = j.Stack.RecvOverhead(bytes)
+	op.cb = cb
 	if j.LatencyClass >= 0 && bytes <= LatencyClassBytes {
 		op.class = j.LatencyClass
 	}

@@ -63,16 +63,15 @@ func (j *Job) runPlanSlack(plan []phase, slack int, cb func(at sim.Time)) {
 	//simlint:allocok -- built once per plan execution (collective setup), not per packet
 	post := func(r, k int) {
 		for _, m := range byFrom[k][r] {
-			m := m
-			//simlint:allocok -- one completion callback per planned message; message-level, not packet-level
-			j.Send(m.from, m.to, m.bytes, func(at sim.Time) {
-				sendLeft[k][m.from]--
-				recvLeft[k][m.to]--
-				tryAdvance(m.from)
-				if m.to != m.from {
-					tryAdvance(m.to)
-				}
-			})
+			// Per-message completion state comes from the job's planMsg
+			// pool, so steady-state collective traffic posts messages
+			// without allocating (the closures this replaces were the
+			// harness-side allocator the grid arenas left standing).
+			pm := j.newPlanMsg()
+			pm.sendLeft, pm.recvLeft = sendLeft[k], recvLeft[k]
+			pm.from, pm.to = m.from, m.to
+			pm.adv = tryAdvance
+			j.Send(m.from, m.to, m.bytes, pm.fn)
 		}
 	}
 	//simlint:allocok -- built once per plan execution (collective setup), not per packet
@@ -108,6 +107,46 @@ func (j *Job) runPlanSlack(plan []phase, slack int, cb func(at sim.Time)) {
 	}
 	for r := 0; r < n; r++ {
 		tryAdvance(r)
+	}
+}
+
+// planMsg is the completion state of one planned collective message: the
+// phase's counter rows, the endpoints, and the plan's advance function.
+// Instances are free-listed on the Job (same serialized-engine-context
+// argument as sendOp.opFree) and carry a cached method value so reposting
+// a message allocates nothing.
+type planMsg struct {
+	j                  *Job
+	sendLeft, recvLeft []int
+	from, to           int
+	adv                func(r int)
+	fn                 func(at sim.Time)
+}
+
+// newPlanMsg pops a recycled planMsg or mints one.
+func (j *Job) newPlanMsg() *planMsg {
+	if n := len(j.pmFree); n > 0 {
+		pm := j.pmFree[n-1]
+		j.pmFree = j.pmFree[:n-1]
+		return pm
+	}
+	pm := &planMsg{j: j}
+	pm.fn = pm.done
+	return pm
+}
+
+// done is the message's delivery callback: settle the phase counters,
+// recycle the planMsg, then advance both endpoints (which may repost — and
+// reuse — this very record, hence the copies).
+func (pm *planMsg) done(sim.Time) {
+	pm.sendLeft[pm.from]--
+	pm.recvLeft[pm.to]--
+	j, adv, from, to := pm.j, pm.adv, pm.from, pm.to
+	pm.sendLeft, pm.recvLeft, pm.adv = nil, nil, nil
+	j.pmFree = append(j.pmFree, pm)
+	adv(from)
+	if to != from {
+		adv(to)
 	}
 }
 
