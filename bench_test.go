@@ -298,6 +298,29 @@ func BenchmarkPacketHotPathFatTree(b *testing.B) { bench.PacketHotPathFatTree(b)
 // byte (the hybrid-fidelity speedup claim is this against PacketHotPath).
 func BenchmarkFlowEngine(b *testing.B) { bench.FlowEngine(b) }
 
+// BenchmarkSolverIncremental measures one flow-churn event (one arrival
+// fold plus one completion fold) against 10k standing flows, with the
+// incremental dirty-component re-solve and with full progressive filling
+// forced — the ratio is the incremental solver's speedup claim (>= 5x).
+func BenchmarkSolverIncremental(b *testing.B) {
+	b.Run("incremental", bench.SolverIncremental(false))
+	b.Run("full", bench.SolverIncremental(true))
+}
+
+// BenchmarkFlowSharded streams bulk fluid flows over the domain-sharded
+// fabric (scoped per-domain engines plus the epoch-folded boundary
+// solver) at worker budgets 1 and 4; results are identical, only
+// wall-clock differs.
+func BenchmarkFlowSharded(b *testing.B) {
+	b.Run("d1", bench.FlowSharded(1))
+	b.Run("d4", bench.FlowSharded(4))
+}
+
+// BenchmarkFlowScale1M runs bisection flows over a 1,048,576-endpoint
+// Dragonfly at flow fidelity — the million-endpoint scale row. The
+// fabric builds once and is cached across b.N ramps (~10 s, ~3 GiB).
+func BenchmarkFlowScale1M(b *testing.B) { bench.FlowScale1M(b) }
+
 // BenchmarkHybridRun measures the packet-level victim path with fluid
 // bulk aggressors saturating the same hybrid-fidelity fabric.
 func BenchmarkHybridRun(b *testing.B) { bench.HybridRun(b) }

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"runtime"
@@ -205,10 +206,17 @@ func benchRows(r *results.Result) map[string]benchRow {
 }
 
 // delta returns the relative change from old to cur (positive = worse for
-// cost metrics).
+// cost metrics). A zero baseline is a contract, not a ratio: rows that
+// committed 0 allocs/unit (FlowEngine, MailboxExchange, the ChoosePath
+// hot policies) regress the moment the metric becomes measurable, so any
+// value past rounding noise reports as an infinite regression instead of
+// dividing away to nothing.
 func delta(old, cur float64) float64 {
 	if old == 0 {
-		return 0
+		if cur <= 0.01 {
+			return 0
+		}
+		return math.Inf(1)
 	}
 	return (cur - old) / old
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/fabric"
+	"repro/internal/flow"
 	"repro/internal/harness"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -213,12 +214,48 @@ func ParallelRun(domains int) func(b *testing.B) {
 	}
 }
 
+// flowPoster reposts one (src, dst) bulk flow on each delivery through a
+// callback bound once at construction. Fresh closures per repost were one
+// of the former 2.0 allocs/flow in FlowEngine; SendOpts.Recycle (the
+// fabric's Message free-list) was the other. With both gone the fluid
+// Send/solve/complete cycle is 0 allocs/flow in steady state, and the
+// benchmarks below pin that.
+type flowPoster struct {
+	net       *fabric.Network
+	src, dst  topology.NodeID
+	bytes     int64
+	delivered *int
+	limit     *int
+	cb        func(sim.Time)
+}
+
+func newFlowPoster(net *fabric.Network, src, dst topology.NodeID, bytes int64, delivered, limit *int) *flowPoster {
+	p := &flowPoster{net: net, src: src, dst: dst, bytes: bytes, delivered: delivered, limit: limit}
+	p.cb = p.onDelivered
+	return p
+}
+
+func (p *flowPoster) onDelivered(sim.Time) {
+	*p.delivered++
+	p.post()
+}
+
+func (p *flowPoster) post() {
+	if *p.delivered >= *p.limit {
+		return
+	}
+	p.net.Send(p.src, p.dst, p.bytes, fabric.SendOpts{Bulk: true, Recycle: true, OnDelivered: p.cb})
+}
+
 // FlowEngine streams bulk cross-group flows through the flow-level fluid
 // engine (fabric.FidelityFlow): 8 flows with 4 outstanding 8 MiB
 // transfers each, reposted on delivery. One iteration is one delivered
 // flow, so ns/op spread over the flow's bytes (the suite's SimBytes
 // metadata) is the fluid path's ns per simulated byte — the number the
-// hybrid-fidelity design trades against the packet engine's.
+// hybrid-fidelity design trades against the packet engine's. A short
+// warm-up drains one window before the timer starts so the Message
+// free-list and the solver's scratch arrays reach steady state:
+// allocs/op is a gated 0.
 func FlowEngine(b *testing.B) {
 	topo := topology.MustNew(topology.Config{
 		Groups: 2, SwitchesPerGroup: 2, NodesPerSwitch: 8, GlobalPerPair: 2,
@@ -228,33 +265,193 @@ func FlowEngine(b *testing.B) {
 	net := fabric.New(topo, prof, 5)
 	net.SetFidelity(fabric.FidelityFlow)
 
-	delivered := 0
+	delivered, limit := 0, 0
+	posters := make([]*flowPoster, 0, 8)
+	for i := 0; i < 8; i++ {
+		posters = append(posters,
+			newFlowPoster(net, topology.NodeID(i), topology.NodeID(16+i), FlowEngineBytes, &delivered, &limit))
+	}
+	kick := func() {
+		for _, p := range posters {
+			for w := 0; w < 4; w++ {
+				p.post()
+			}
+		}
+	}
+	limit = 64
+	kick()
+	net.RunWhile(func() bool { return delivered < limit })
+	// Drain the window through the trailing acks: Recycle returns a
+	// Message to the free-list on its ack, so the timed region starts
+	// with a fully stocked pool.
+	net.RunWhile(func() bool { return net.FlowsCompleted() < net.FlowsStarted() })
+	net.RunFor(sim.Millisecond)
+
 	b.ReportAllocs()
 	b.ResetTimer()
-	var post func(src, dst topology.NodeID)
-	post = func(src, dst topology.NodeID) {
-		if delivered >= b.N {
-			return
-		}
-		net.Send(src, dst, FlowEngineBytes, fabric.SendOpts{
-			Bulk: true,
-			OnDelivered: func(sim.Time) {
-				delivered++
-				post(src, dst)
-			},
-		})
-	}
-	for i := 0; i < 8; i++ {
-		for w := 0; w < 4; w++ {
-			post(topology.NodeID(i), topology.NodeID(16+i))
-		}
-	}
+	delivered, limit = 0, b.N
+	kick()
 	net.RunWhile(func() bool { return delivered < b.N })
 }
 
 // FlowEngineBytes is the per-flow transfer size FlowEngine simulates per
 // iteration (the SimBytes metadata for its suite row).
 const FlowEngineBytes = 8 << 20
+
+// nopFlowHooks discards completion callbacks: the solver benchmarks
+// measure re-solve cost, not completion plumbing.
+type nopFlowHooks struct{}
+
+func (nopFlowHooks) FlowDelivered(sim.Time, any) {}
+func (nopFlowHooks) FlowAcked(sim.Time, any)     {}
+
+// SolverIncremental measures the fair-share solver's per-churn-event cost
+// against a standing population of 10k long-lived flows: each iteration
+// starts one short flow and advances past its completion, so the solver
+// folds one arrival and one departure. The background flows are
+// intra-group (64 Dragonfly groups), so the max–min component each event
+// touches is ~1/64th of the flow set — the locality the incremental
+// dirty-component re-solve exploits. forceFull pins the pre-incremental
+// behaviour (SetForceFull) for the speedup ratio; the acceptance bar is
+// incremental >= 5x cheaper per event at this population.
+func SolverIncremental(forceFull bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		topo := topology.MustNew(topology.Config{
+			Groups: 64, SwitchesPerGroup: 8, NodesPerSwitch: 4, GlobalPerPair: 1,
+		})
+		eng := flow.NewEngine(topo, flow.Caps{
+			EdgeBits: 200e9, LocalBits: 200e9, GlobalBits: 200e9, MaxPaths: 4,
+		})
+		eng.Hooks = nopFlowHooks{}
+		eng.SetForceFull(forceFull)
+		rng := sim.NewRNG(11)
+		const npg = 8 * 4 // nodes per group
+		pair := func(g int) (topology.NodeID, topology.NodeID) {
+			src := rng.Intn(npg)
+			dst := rng.Intn(npg - 1)
+			if dst >= src {
+				dst++
+			}
+			return topology.NodeID(g*npg + src), topology.NodeID(g*npg + dst)
+		}
+		for i := 0; i < 10000; i++ {
+			src, dst := pair(i % 64)
+			// Effectively infinite: the background population never drains.
+			eng.Start(src, dst, 1<<50, flow.FlowOpts{})
+		}
+		eng.Resolve()
+		at := sim.Time(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src, dst := pair(i % 64)
+			// 64 KiB at the group's shared edge rate completes well inside
+			// the 1 ms step, so every iteration is exactly one start fold
+			// plus one completion fold.
+			eng.Start(src, dst, 64<<10, flow.FlowOpts{})
+			at += sim.Millisecond
+			eng.Advance(at)
+		}
+	}
+}
+
+// FlowShardedBytes is the per-flow transfer size of the FlowSharded rows.
+const FlowShardedBytes = 4 << 20
+
+// FlowSharded streams bulk fluid flows over the domain-sharded fabric:
+// two intra-group flows per group run on that domain's scoped engine
+// inside the parallel run phase, and one cross-group flow per group runs
+// on the control-side boundary engine, coupled at epoch barriers. One
+// iteration is one delivered flow; d1 vs d4 shows what the worker budget
+// buys on a fluid-dominated workload (the decomposition — and the
+// result — is identical for both).
+func FlowSharded(domains int) func(b *testing.B) {
+	return func(b *testing.B) {
+		topo := topology.MustNew(topology.Config{
+			Groups: 8, SwitchesPerGroup: 4, NodesPerSwitch: 8, GlobalPerPair: 2,
+		})
+		prof := fabric.SlingshotProfile()
+		prof.SwitchJitter = false
+		net := fabric.NewSharded(topo, prof, 5, domains)
+		net.SetFidelity(fabric.FidelityFlow)
+
+		delivered, limit := 0, 0
+		const npg = 4 * 8 // nodes per group
+		var posters []*flowPoster
+		for g := 0; g < 8; g++ {
+			base := topology.NodeID(g * npg)
+			posters = append(posters,
+				newFlowPoster(net, base, base+9, FlowShardedBytes, &delivered, &limit),
+				newFlowPoster(net, base+1, base+18, FlowShardedBytes, &delivered, &limit),
+				newFlowPoster(net, base+2, topology.NodeID(((g+4)%8)*npg+3), FlowShardedBytes, &delivered, &limit))
+		}
+		kick := func() {
+			for _, p := range posters {
+				for w := 0; w < 2; w++ {
+					p.post()
+				}
+			}
+		}
+		limit = 96
+		kick()
+		net.RunWhile(func() bool { return delivered < limit })
+		net.RunWhile(func() bool { return net.FlowsCompleted() < net.FlowsStarted() })
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		delivered, limit = 0, b.N
+		kick()
+		net.RunWhile(func() bool { return delivered < b.N })
+	}
+}
+
+// FlowScaleBytes is the per-flow transfer size of the FlowScale1M row.
+const FlowScaleBytes = 16 << 20
+
+// scale1M caches the million-endpoint fabric across benchmark re-runs:
+// the ~10 s build (65536 switches, 1M NICs) would otherwise repeat on
+// every b.N ramp and swamp the measurement. Steady-state flow cost does
+// not depend on accumulated sim time, so reuse is safe.
+//
+//simlint:rngok -- benchmark-only cache of one Network (and its owned streams); nothing shares the draw order across simulations
+var scale1M *fabric.Network
+
+// FlowScale1M drives bisection traffic across a 1,048,576-endpoint
+// Dragonfly (1024 groups of 64 Aries-style 8x8 grid switches, 16 nodes
+// each) at flow fidelity: 1024 concurrent 16 MiB transfers from group g
+// to group g+512, reposted on delivery. One iteration is one delivered
+// flow; ns/op over 16 MiB is the fluid path's ns per simulated byte at
+// the scale the paper's fabrics actually ship — the run the incremental
+// component solver exists for (a full re-solve touches 4M segments,
+// the component around one bisection flow a few hundred).
+func FlowScale1M(b *testing.B) {
+	if scale1M == nil {
+		topo := topology.MustNew(topology.Config{
+			Groups: 1024, SwitchesPerGroup: 64, NodesPerSwitch: 16, GlobalPerPair: 1,
+			Shape: topology.Grid2D, GridRows: 8,
+		})
+		prof := fabric.SlingshotProfile()
+		prof.SwitchJitter = false
+		scale1M = fabric.New(topo, prof, 5)
+		scale1M.SetFidelity(fabric.FidelityFlow)
+	}
+	net := scale1M
+	nodes := net.Topo.Nodes()
+	delivered, limit := 0, 0
+	posters := make([]*flowPoster, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		src := topology.NodeID(i * 1024)
+		dst := topology.NodeID((i*1024 + nodes/2) % nodes)
+		posters = append(posters, newFlowPoster(net, src, dst, FlowScaleBytes, &delivered, &limit))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	delivered, limit = 0, b.N
+	for _, p := range posters {
+		p.post()
+	}
+	net.RunWhile(func() bool { return delivered < b.N })
+}
 
 // HybridRun measures the packet-level victim path while fluid bulk
 // aggressor flows saturate the same hybrid-fidelity fabric: 4 victim
@@ -387,6 +584,10 @@ func Suite() []struct {
 		{"PacketHotPath", "packet", 0, packetBytes, PacketHotPath},
 		{"PacketHotPathFatTree", "packet", 0, packetBytes, PacketHotPathFatTree},
 		{"FlowEngine", "flow", 0, FlowEngineBytes, FlowEngine},
+		{"SolverIncremental/incremental", "event", 0, 0, SolverIncremental(false)},
+		{"SolverIncremental/full", "event", 0, 0, SolverIncremental(true)},
+		{"FlowSharded/d1", "flow", 1, FlowShardedBytes, FlowSharded(1)},
+		{"FlowSharded/d4", "flow", 4, FlowShardedBytes, FlowSharded(4)},
 		{"HybridRun", "packet", 0, packetBytes, HybridRun},
 		{"ChoosePath/minimal", "decision", 0, 0, ChoosePath("minimal")},
 		{"ChoosePath/adaptive", "decision", 0, 0, ChoosePath("adaptive")},
@@ -399,5 +600,8 @@ func Suite() []struct {
 		{"ParallelRun/d2", "packet", 2, packetBytes, ParallelRun(2)},
 		{"ParallelRun/d4", "packet", 4, packetBytes, ParallelRun(4)},
 		{"ParallelRun/d8", "packet", 8, packetBytes, ParallelRun(8)},
+		// Last: FlowScale1M retains its ~3 GiB million-endpoint fabric
+		// for the rest of the process (see scale1M).
+		{"FlowScale1M", "flow", 0, FlowScaleBytes, FlowScale1M},
 	}
 }

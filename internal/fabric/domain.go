@@ -3,6 +3,7 @@ package fabric
 import (
 	"sort"
 
+	"repro/internal/flow"
 	"repro/internal/sim"
 	"repro/internal/sim/par"
 	"repro/internal/topology"
@@ -72,6 +73,13 @@ type domain struct {
 	// switches are the domain's own switches, for the per-epoch load
 	// snapshot refresh.
 	switches []*Switch
+	// Sharded fluid fidelity (fluid_sharded.go): the domain's scoped flow
+	// engine, its pending-tick guard, and the fluid completion count the
+	// barrier folds into Network.flowsCompleted.
+	flowEng        *flow.Engine
+	flowTicker     *domFlowTicker
+	flowTickAt     sim.Time
+	flowsCompleted int64
 }
 
 // post schedules (h, arg, data) at absolute time at on the component
@@ -207,6 +215,8 @@ func (n *Network) foldCounters() {
 	for _, d := range n.doms {
 		n.Counters.add(&d.counters)
 		d.counters = Counters{}
+		n.flowsCompleted += d.flowsCompleted
+		d.flowsCompleted = 0
 	}
 }
 
@@ -251,6 +261,7 @@ func (n *Network) flushDeferred() {
 // computation and produce byte-identical output.
 func (n *Network) initDomains(workers int) {
 	part := n.Topo.Partition(0)
+	n.part = part
 	k := part.Domains
 	n.doms = make([]*domain, k)
 	shards := make([]*par.Shard, k)
@@ -304,10 +315,15 @@ func (n *Network) initDomains(workers int) {
 func (n *Network) OnShard(s *par.Shard) { n.doms[s.ID].refreshSnapshot() }
 
 // OnEpoch implements par.Hooks: on quiesced, sequential state, fold the
-// per-domain counters into the embedded block and flush the deferred
-// completion callbacks in canonical order.
-func (n *Network) OnEpoch(sim.Time) {
+// per-domain counters into the embedded block, fold the fluid rate
+// exchange (before the deferred flush: a completion fired by the barrier
+// advance must flush this epoch — the run may have no next one), then
+// flush the deferred completion callbacks in canonical order.
+func (n *Network) OnEpoch(limit sim.Time) {
 	n.foldCounters()
+	if n.flowSet != nil {
+		n.fluidExchange(limit)
+	}
 	n.flushDeferred()
 }
 

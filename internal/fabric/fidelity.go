@@ -93,7 +93,10 @@ const (
 func (n *Network) SetFidelity(f Fidelity) {
 	n.fid = f
 	if f == FidelityPacket {
-		n.flowEng = nil
+		n.flowEng, n.flowSet = nil, nil
+		for _, d := range n.doms {
+			d.flowEng, d.flowTicker = nil, nil
+		}
 		n.flowBG, n.flowBGEdge, n.bgOff = nil, nil, nil
 		return
 	}
@@ -107,6 +110,11 @@ func (n *Network) SetFidelity(f Fidelity) {
 	n.flowEng = flow.NewEngine(n.Topo, caps)
 	n.flowEng.Hooks = (*flowHooks)(n)
 	n.flowTickAt = sim.Forever
+	if n.par != nil {
+		// Sharded fabric: n.flowEng becomes the boundary engine and every
+		// domain gets a scoped engine of its own (fluid_sharded.go).
+		n.initShardedFluid(caps)
+	}
 
 	// Background-load tables, one slot per (switch, dense neighbor index)
 	// — the same layout as the sharded epoch snapshot — plus one per node
@@ -164,8 +172,14 @@ func (n *Network) flowEligible(src, dst topology.NodeID, bytes int64, opts *Send
 		return false
 	}
 	// Incast hotspot: once hybridFanIn fluid flows already converge on
-	// dst, further transfers contend in queues — packet territory.
-	if n.flowEng.ActiveTo(dst) >= hybridFanIn {
+	// dst, further transfers contend in queues — packet territory. Sharded
+	// fluid counts both layers: the scoped engines share one fan-in table,
+	// boundary flows live on n.flowEng.
+	fanIn := n.flowEng.ActiveTo(dst)
+	if n.flowSet != nil {
+		fanIn += int(n.flowSet.ActiveTo(dst))
+	}
+	if fanIn >= hybridFanIn {
 		return false
 	}
 	// A pair the congestion controller is actively throttling is by
@@ -185,13 +199,22 @@ func (n *Network) flowEligible(src, dst topology.NodeID, bytes int64, opts *Send
 func (n *Network) sendFlow(m *Message) *Message {
 	lat, ack, extra := n.flowTimes(m)
 	n.flowsStarted++
-	n.flowEng.Start(m.Src, m.Dst, m.Bytes, flow.FlowOpts{
+	eng, d := n.flowEngineFor(m.Src, m.Dst)
+	// Bring the engine's fluid clock to the present before admitting the
+	// flow, so the lazy solve folds in exactly at the submit time instead
+	// of smearing the new flow's rate back to the last tick.
+	eng.Advance(n.Eng.Now())
+	eng.Start(m.Src, m.Dst, m.Bytes, flow.FlowOpts{
 		ExtraBytes:   extra,
 		ExtraLatency: lat,
 		AckLatency:   ack,
 		Arg:          m,
 	})
-	n.scheduleFlowWake()
+	if d != nil {
+		d.scheduleFlowWake()
+	} else {
+		n.scheduleFlowWake()
+	}
 	return m
 }
 
@@ -206,8 +229,11 @@ func (n *Network) flowTimes(m *Message) (lat, ackLat sim.Time, extraBytes int64)
 	prof := &n.Prof
 	var path topology.Path
 	switches := 1
+	// The flow engine's keyed path cache, not the dense minPaths rows: a
+	// million-endpoint flow-mode run would pay ~1.5 MB of row spine per
+	// distinct source switch for paths the packet layer never routes.
 	if s, d := n.Topo.SwitchOf(m.Src), n.Topo.SwitchOf(m.Dst); s != d {
-		if ps := n.minimalPaths(s, d); len(ps) > 0 {
+		if ps := n.flowEng.Candidates(s, d); len(ps) > 0 {
 			path = ps[0]
 			switches = len(path)
 		}
@@ -273,6 +299,12 @@ func (h *flowHooks) FlowAcked(at sim.Time, arg any) {
 	m.acked = m.numPackets
 	if m.OnAcked != nil {
 		m.OnAcked(at)
+	}
+	// The ack is the message's final event: an opted-in handle returns to
+	// the Send free-list here (control side only — the sharded domain
+	// hooks never recycle, their messages outlive the shard epoch).
+	if m.recycle {
+		(*Network)(h).freeMsg(m)
 	}
 }
 
@@ -347,11 +379,22 @@ func (n *Network) publishFlowBG() {
 		base := n.bgOff[s]
 		for i := 0; i < topo.NeighborCount(topology.SwitchID(s)); i++ {
 			rate, cap := n.flowEng.SegmentRate(topology.SwitchID(s), i)
+			if n.flowSet != nil {
+				// A segment carries boundary flows (n.flowEng) plus the
+				// owning domain's intra-domain flows; capacities agree.
+				r, _ := n.switches[s].dom.flowEng.SegmentRate(topology.SwitchID(s), i)
+				rate += r
+			}
 			n.flowBG[base+int32(i)] = bgQueueEquivalent(rate, cap)
 		}
 	}
 	for node := range n.flowBGEdge {
 		rate, cap := n.flowEng.EdgeDownRate(topology.NodeID(node))
+		if n.flowSet != nil {
+			sw := topo.SwitchOf(topology.NodeID(node))
+			r, _ := n.switches[sw].dom.flowEng.EdgeDownRate(topology.NodeID(node))
+			rate += r
+		}
 		n.flowBGEdge[node] = bgQueueEquivalent(rate, cap)
 	}
 }

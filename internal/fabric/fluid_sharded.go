@@ -1,0 +1,157 @@
+package fabric
+
+import (
+	"repro/internal/flow"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Sharded fluid fidelity: each domain owns a scoped flow.Engine advancing
+// its intra-domain flows live inside the parallel run phase, while flows
+// whose minimal candidates cross a domain cut run on the control-side
+// boundary engine (n.flowEng, full segment space). The two layers couple
+// at the epoch barrier: every engine publishes the per-segment rates it
+// allocated, and consumes the others' as external capacity derating
+// (flow.Engine.SetExtRate) — one relaxation sweep per epoch, always in
+// domain order on quiesced state, so the fold is deterministic for any
+// worker budget. The trust boundary is the same fence as the packet
+// shards': a rate change crossing a cut cannot matter sooner than the
+// optical lookahead, so folding it at the barrier never lets a domain
+// observe a peer's future.
+
+// initShardedFluid stands up the per-domain scoped engines. Called by
+// SetFidelity when the network is sharded and fidelity is fluid.
+func (n *Network) initShardedFluid(caps flow.Caps) {
+	n.flowEng.EnableChangeTracking()
+	n.flowSet = flow.NewShardedEngines(n.Topo, caps, n.part)
+	for i, d := range n.doms {
+		d.flowEng = n.flowSet.Engines[i]
+		d.flowEng.Hooks = &domFlowHooks{d: d}
+		d.flowTicker = &domFlowTicker{d: d}
+		d.flowTickAt = sim.Forever
+	}
+}
+
+// flowEngineFor classifies one fluid transfer: the source domain's scoped
+// engine when the destination and every switch of every cached minimal
+// candidate stay inside the source's domain, the boundary engine
+// otherwise. Send runs on quiesced control state, so the domain walk
+// races with nothing.
+//
+//simlint:hotpath
+func (n *Network) flowEngineFor(src, dst topology.NodeID) (*flow.Engine, *domain) {
+	if n.flowSet == nil {
+		return n.flowEng, nil
+	}
+	a, b := n.Topo.SwitchOf(src), n.Topo.SwitchOf(dst)
+	da := n.switches[a].dom
+	if n.switches[b].dom != da {
+		return n.flowEng, nil
+	}
+	if a != b {
+		for _, p := range n.flowEng.Candidates(a, b) {
+			for _, s := range p {
+				if n.switches[s].dom != da {
+					return n.flowEng, nil
+				}
+			}
+		}
+	}
+	return da.flowEng, da
+}
+
+// domFlowHooks adapts one domain to flow.Hooks: counters go to the
+// domain's private block (folded at the barrier in domain order), and
+// caller callbacks defer to the barrier flush like every other
+// shard-raised completion.
+type domFlowHooks struct{ d *domain }
+
+func (h *domFlowHooks) FlowDelivered(at sim.Time, arg any) {
+	d := h.d
+	m := arg.(*Message)
+	m.delivered = m.numPackets
+	m.DeliveredAt = at
+	d.flowsCompleted++
+	d.ctr.PacketsDelivered += int64(m.numPackets)
+	if m.OnDelivered != nil {
+		d.deferCall(at, m.OnDelivered)
+	}
+}
+
+func (h *domFlowHooks) FlowAcked(at sim.Time, arg any) {
+	m := arg.(*Message)
+	m.acked = m.numPackets
+	if m.OnAcked != nil {
+		h.d.deferCall(at, m.OnAcked)
+	}
+}
+
+// domFlowTicker advances one domain's fluid engine inside the parallel
+// run phase — the sharded counterpart of flowTicker, touching only
+// domain-owned state.
+type domFlowTicker struct{ d *domain }
+
+//simlint:hotpath
+func (t *domFlowTicker) OnEvent(e *sim.Engine, ev *sim.Event) {
+	d := t.d
+	d.flowTickAt = sim.Forever
+	d.flowEng.Advance(d.eng.Now())
+	d.ctr.BytesDelivered += d.flowEng.TakeProgress()
+	d.scheduleFlowWake()
+}
+
+// scheduleFlowWake keeps one leading fluid tick pending on the domain's
+// own engine (completions and lazy solves only; background publication is
+// the barrier's job in sharded mode).
+//
+//simlint:hotpath
+func (d *domain) scheduleFlowWake() {
+	next := d.flowEng.NextWake()
+	if next < d.flowTickAt {
+		d.flowTickAt = next
+		d.eng.Schedule(next, d.flowTicker, 0, nil)
+	}
+}
+
+// fluidExchange is the epoch-barrier rate fold. Sequential, control-side,
+// domain order throughout:
+//
+//  1. advance every scoped engine (and the boundary engine) to the epoch
+//     limit, crediting fluid progress;
+//  2. publish each domain's changed segment rates into the boundary
+//     engine as external derating;
+//  3. re-solve the boundary engine and push its changed rates back down
+//     to the owning domains' engines;
+//  4. re-solve the domains and re-arm every wake.
+//
+// One sweep per epoch: the coupling relaxes over successive epochs
+// rather than iterating to a fixed point inside one barrier, which keeps
+// the barrier O(changed) and converges because SetExtRate no-ops (and
+// stops the dirty cascade) once published rates repeat.
+func (n *Network) fluidExchange(limit sim.Time) {
+	bnd := n.flowEng
+	for _, d := range n.doms {
+		d.flowEng.Advance(limit)
+		n.Counters.BytesDelivered += d.flowEng.TakeProgress()
+		for _, s := range d.flowEng.Changed() {
+			bnd.SetExtRate(d.flowEng.GlobalSeg(s), d.flowEng.SegRateAt(s))
+		}
+		d.flowEng.ResetChanged()
+	}
+	bnd.Advance(limit)
+	n.Counters.BytesDelivered += bnd.TakeProgress()
+	bnd.Resolve()
+	for _, g := range bnd.Changed() {
+		dom, loc := n.flowSet.Owner(g)
+		n.doms[dom].flowEng.SetExtRate(loc, bnd.SegRateAt(g))
+	}
+	bnd.ResetChanged()
+	for _, d := range n.doms {
+		d.flowEng.Resolve()
+		d.scheduleFlowWake()
+	}
+	n.scheduleFlowWake()
+	if n.fid == FidelityHybrid {
+		n.publishFlowBG()
+	}
+}

@@ -74,16 +74,26 @@ type Network struct {
 	snapOff []int32
 	defrBuf defrMerge
 
+	// part is the topology's natural partition (initDomains); zero-valued
+	// in classic mode.
+	part topology.Partition
+
 	// Fidelity state (see fidelity.go). flowEng is nil at the packet
 	// default; the background tables mirror the snap/snapOff layout and
-	// are written only at epoch barriers (control engine).
+	// are written only at epoch barriers (control engine). In sharded
+	// fluid mode flowEng is the control-side boundary engine and flowSet
+	// carries one scoped engine per domain (fluid_sharded.go).
 	fid        Fidelity
 	flowEng    *flow.Engine
+	flowSet    *flow.ShardSet
 	flowTickAt sim.Time
 	flowBG     []int64
 	flowBGEdge []int64
 	bgOff      []int32
 	flowsStarted, flowsCompleted int64
+	// msgFree recycles opted-in (SendOpts.Recycle) Message structs so
+	// steady-state fluid Send/complete churn is allocation-free.
+	msgFree []*Message
 
 	// Stats. The embedded Counters promote, so n.PacketsDelivered etc.
 	// read as before; sharded runs fold per-domain blocks in here at each
@@ -273,6 +283,12 @@ type SendOpts struct {
 	OnDelivered func(at sim.Time)
 	// OnAcked fires at the source when the last end-to-end ack returns.
 	OnAcked func(at sim.Time)
+	// Recycle promises the caller will not retain the returned *Message
+	// past its final callback: the fabric may then return the struct to
+	// an internal free-list, making steady-state Send churn
+	// allocation-free. Honoured on the control-side fluid path (classic
+	// flow/hybrid and sharded boundary flows); other paths ignore it.
+	Recycle bool
 }
 
 // Send submits a message transfer of `bytes` from src to dst. It returns
@@ -287,16 +303,15 @@ func (n *Network) Send(src, dst topology.NodeID, bytes int64, opts SendOpts) *Me
 		class = 0
 	}
 	n.msgID++
-	m := &Message{
-		ID:          n.msgID,
-		Src:         src,
-		Dst:         dst,
-		Bytes:       bytes,
-		Class:       class,
-		OnDelivered: opts.OnDelivered,
-		OnAcked:     opts.OnAcked,
-		numPackets:  ethernet.Packets(bytes, n.Prof.cell()),
-	}
+	m := n.allocMsg()
+	m.ID = n.msgID
+	m.Src, m.Dst = src, dst
+	m.Bytes = bytes
+	m.Class = class
+	m.OnDelivered = opts.OnDelivered
+	m.OnAcked = opts.OnAcked
+	m.numPackets = ethernet.Packets(bytes, n.Prof.cell())
+	m.recycle = opts.Recycle
 	if n.Prof.RendezvousThreshold > 0 && bytes > n.Prof.RendezvousThreshold && !opts.NoRendezvous {
 		m.Rendezvous = true
 	}
@@ -307,6 +322,28 @@ func (n *Network) Send(src, dst topology.NodeID, bytes int64, opts SendOpts) *Me
 	}
 	n.nics[src].submit(m)
 	return m
+}
+
+// allocMsg takes a Message off the recycle free-list, or mints one.
+//
+//simlint:hotpath
+func (n *Network) allocMsg() *Message {
+	if k := len(n.msgFree); k > 0 {
+		m := n.msgFree[k-1]
+		n.msgFree[k-1] = nil
+		n.msgFree = n.msgFree[:k-1]
+		return m
+	}
+	return &Message{} //simlint:allocok -- cold start; opted-in steady state recycles off the free-list
+}
+
+// freeMsg zeroes a completed opted-in message and returns it to the
+// free-list. Only control-side completion paths may call this.
+//
+//simlint:hotpath
+func (n *Network) freeMsg(m *Message) {
+	*m = Message{}
+	n.msgFree = append(n.msgFree, m) //simlint:retained -- this IS the message free-list, mirroring the packet one
 }
 
 // NIC returns the NIC runtime for a node (read-only use by tests).

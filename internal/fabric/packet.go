@@ -65,6 +65,10 @@ type Message struct {
 	// (the delivery and the ack run in different domains).
 	ackRTT sim.Time
 
+	// recycle marks an opted-in (SendOpts.Recycle) handle the fabric
+	// returns to the Send free-list after its final completion event.
+	recycle bool
+
 	SubmittedAt sim.Time
 	DeliveredAt sim.Time
 }

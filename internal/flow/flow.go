@@ -9,6 +9,16 @@
 // "events" are flow arrivals, flow completions, and the caller's own
 // epoch ticks.
 //
+// Re-solving is incremental: a flow start or finish dirties only the
+// segments it crosses, and the solver re-fills just the affected
+// component — the segments reachable from the dirty seeds through
+// shared-flow adjacency. Max–min fairness decomposes exactly over such
+// components (flows in different components share no segment, so no
+// bottleneck constraint couples them), and both the full and the
+// component solve enumerate flows in canonical id order, so the
+// incremental result is bit-identical to re-solving from scratch while
+// costing O(component) instead of O(flows x path length) per event.
+//
 // Fidelity contract: rates are exact max–min fair shares on the chosen
 // paths, but there is no queuing delay, no adaptive per-packet spreading
 // beyond the per-flow path choice, and no congestion control. Callers
@@ -18,15 +28,18 @@
 // against the packet engine on golden-scale scenarios.
 //
 // Determinism: the engine is driven from a single goroutine (fabric's
-// control engine), every iteration order is slice order, path choice is
+// control engine, or exactly one shard domain when sharded), every
+// iteration order is slice order or canonical id order, path choice is
 // deterministic given the active flow set, and completion callbacks fire
-// in (time, enqueue-sequence) order from a binary heap. No maps, no RNG,
-// no wall clock.
+// in (time, enqueue-sequence) order from a binary heap. The minimal-path
+// cache is a map but is only ever keyed, never iterated. No RNG, no wall
+// clock.
 //
 // Steady-state epochs are alloc-free after warm-up: flow records are
 // free-listed, per-segment scratch (residual capacity, unfixed counts,
-// CSR flow lists) lives in engine-owned slices that are re-stamped rather
-// than reallocated, and the callback heap reuses its backing array.
+// CSR flow lists, membership rows) lives in engine-owned slices that are
+// re-stamped rather than reallocated, and the callback heap reuses its
+// backing array.
 package flow
 
 import (
@@ -82,9 +95,19 @@ type Flow struct {
 	remaining float64 // payload+overhead bytes left
 	rate      float64 // bits/s, assigned by the solver
 	segs      []int32 // directed segment indices, reused capacity
+	segPos    []int32 // this flow's slot in memb[segs[i]] (parallel to segs)
+	mark      int32   // component-BFS visit generation
 	extraLat  sim.Time
 	ackLat    sim.Time
 	arg       any
+}
+
+// membEntry is one active flow's membership on a segment: the flow plus
+// which of its own segs entries this segment is, so a swap-removal can
+// repair the moved entry's back-pointer in O(1).
+type membEntry struct {
+	f  *Flow
+	si int32
 }
 
 // pendingCB is a completion callback waiting for its fire time; ack
@@ -102,41 +125,84 @@ type pendingCB struct {
 // parallel links between a switch pair pool into one segment, matching
 // the packet engine's round-robin port spreading — plus one per node for
 // each edge-link direction.
+//
+// A full engine (NewEngine) covers the whole topology; a scoped engine
+// (NewShardedEngines) covers one partition domain with a compact local
+// segment space, addressed through shared global->local tables. Callers
+// of a scoped engine must only name switches and nodes the scope owns.
 type Engine struct {
 	topo  topology.Topology
 	Hooks Hooks
 
-	// Segment tables, fixed at construction.
-	segCap   []float64 // effective bits/s per segment
-	segOff   []int32   // fabric segment base per switch
-	edgeUp   int32     // segment index base: node -> switch
-	edgeDown int32     // segment index base: switch -> node
-	nSeg     int
+	// Segment address tables, fixed at construction. swBase maps a global
+	// switch to its fabric-segment base in THIS engine's index space (its
+	// dense neighbor index is the offset); nodeUp/nodeDn map a global node
+	// to its edge segments. For a full engine these cover every
+	// switch/node; for a scoped engine foreign entries belong to another
+	// engine's space and must never be dereferenced here.
+	segCap []float64 // effective bits/s per segment
+	swBase []int32
+	nodeUp []int32
+	nodeDn []int32
+	nSeg   int
+	// gid translates a local segment to its global segment id for the
+	// sharded boundary exchange; nil for full engines (identity).
+	gid []int32
 
 	maxPaths int
-	minPaths [][][]topology.Path // lazy cache rows [src][dst]
+	// paths caches minimal-path candidates keyed by (src switch << 32 |
+	// dst switch). A map (lookups only, never iterated — determinism is
+	// preserved) instead of dense per-source rows: million-endpoint
+	// fabrics would pay ~1.5 MB per distinct source switch for rows.
+	paths map[int64][]topology.Path
 
 	active   []*Flow
 	freeList []*Flow
 	nextID   int64
 	nextSeq  int64
 
-	segFlows []int32 // live flow count per segment (path choice)
-	activeTo []int32 // active bulk flows per destination node
+	segFlows []int32       // live flow count per segment (path choice)
+	activeTo []int32       // active bulk flows per destination node
+	memb     [][]membEntry // active flows on each segment (component BFS)
+
+	// Dirty-seed tracking: segments touched by flow starts/finishes (and
+	// external-rate changes) since the last solve, deduplicated by a
+	// generation mark.
+	dirty     bool
+	dirtySegs []int32
+	dirtyMark []int32
+	dirtyGen  int32
+	forceFull bool  // always re-solve from scratch (bench/test reference)
+	solved    bool  // a full solve has run; incremental patching is valid
+	solves    int64 // solver invocations (regression tests pin this)
 
 	// Solver scratch, stamped per solve.
-	dirty    bool
 	stamp    int32
-	segStamp []int32   // last stamp that touched the segment
-	segSlot  []int32   // segment -> slot in the touched arrays
-	touched  []int32   // segments used by the current active set
+	visit    int32   // flow-mark generation for the component BFS
+	segStamp []int32 // last stamp that touched the segment
+	segSlot  []int32 // segment -> slot in the touched arrays
+	touched  []int32 // segments used by the current fill set
+	comp     []int32 // component BFS queue / segment list
+	order    []*Flow // fill working set, canonical id order
+	sorter   byID
 	resid    []float64 // per-slot residual capacity
 	unfixed  []int32   // per-slot count of unfixed flows
 	csrStart []int32   // per-slot CSR bounds into csrFlow
 	csrPos   []int32
-	csrFlow  []int32 // flow indices grouped by slot
+	csrFlow  []int32   // order indices grouped by slot
 	segRate  []float64 // per-segment allocated bits/s (persistent, for BG export)
-	rated    []int32   // segments with nonzero segRate (to clear next solve)
+	rated    []int32   // segments possibly carrying nonzero segRate
+	inRated  []bool    // rated-membership dedup
+
+	// ext is per-segment capacity consumed by flows living in a foreign
+	// engine (the sharded boundary exchange); nil until SetExtRate.
+	ext []float64
+
+	// Changed-segment tracking for the epoch exchange; nil until
+	// EnableChangeTracking.
+	changed []int32
+	chMark  []int32
+	chGen   int32
 
 	now        sim.Time
 	progressed float64 // whole+fractional bytes advanced since TakeProgress
@@ -144,46 +210,77 @@ type Engine struct {
 	cbs []pendingCB // binary heap by (at, seq)
 }
 
+// byID orders the solver's working set canonically by flow id through a
+// persistent sorter struct (no per-solve boxing). Canonical order is what
+// makes the incremental component solve bit-identical to the full one:
+// swap-removal permutes the active slice, so enumeration order must not
+// depend on removal history.
+type byID struct{ f []*Flow }
+
+func (o *byID) Len() int           { return len(o.f) }
+func (o *byID) Less(i, j int) bool { return o.f[i].id < o.f[j].id }
+func (o *byID) Swap(i, j int)      { o.f[i], o.f[j] = o.f[j], o.f[i] }
+
 // NewEngine builds the segment capacity tables for topo. Capacities pool
 // parallel links: a Dragonfly pair joined by two global links yields one
 // segment at twice GlobalBits, which is how the packet engine's
 // round-robin over parallel ports behaves in aggregate.
 func NewEngine(topo topology.Topology, caps Caps) *Engine {
-	e := &Engine{topo: topo, maxPaths: caps.MaxPaths}
-	if e.maxPaths <= 0 {
-		e.maxPaths = 4
-	}
 	sw, nodes := topo.Switches(), topo.Nodes()
-	e.segOff = make([]int32, sw+1)
+	e := newEngineShell(topo, caps.MaxPaths)
+	e.swBase = make([]int32, sw)
+	base := int32(0)
 	for s := 0; s < sw; s++ {
-		e.segOff[s+1] = e.segOff[s] + int32(topo.NeighborCount(topology.SwitchID(s)))
+		e.swBase[s] = base
+		base += int32(topo.NeighborCount(topology.SwitchID(s)))
 	}
-	fabricSegs := int(e.segOff[sw])
-	e.edgeUp = int32(fabricSegs)
-	e.edgeDown = int32(fabricSegs + nodes)
-	e.nSeg = fabricSegs + 2*nodes
-	e.segCap = make([]float64, e.nSeg)
+	fabricSegs := base
+	e.nodeUp = make([]int32, nodes)
+	e.nodeDn = make([]int32, nodes)
+	for n := 0; n < nodes; n++ {
+		e.nodeUp[n] = fabricSegs + int32(n)
+		e.nodeDn[n] = fabricSegs + int32(nodes) + int32(n)
+	}
+	e.initSegs(int(fabricSegs) + 2*nodes)
 	for _, lk := range topo.Links() {
 		switch lk.Kind {
 		case topology.EdgeLink:
-			e.segCap[e.edgeUp+int32(lk.Node)] = caps.EdgeBits
-			e.segCap[e.edgeDown+int32(lk.Node)] = caps.EdgeBits
+			e.segCap[e.nodeUp[lk.Node]] = caps.EdgeBits
+			e.segCap[e.nodeDn[lk.Node]] = caps.EdgeBits
 		case topology.LocalLink, topology.GlobalLink:
 			bits := caps.LocalBits
 			if lk.Kind == topology.GlobalLink {
 				bits = caps.GlobalBits
 			}
-			e.segCap[e.segOff[lk.A]+int32(topo.NeighborIndex(lk.A, lk.B))] += bits
-			e.segCap[e.segOff[lk.B]+int32(topo.NeighborIndex(lk.B, lk.A))] += bits
+			e.segCap[e.swBase[lk.A]+int32(topo.NeighborIndex(lk.A, lk.B))] += bits
+			e.segCap[e.swBase[lk.B]+int32(topo.NeighborIndex(lk.B, lk.A))] += bits
 		}
 	}
-	e.minPaths = make([][][]topology.Path, sw)
-	e.segFlows = make([]int32, e.nSeg)
 	e.activeTo = make([]int32, nodes)
-	e.segStamp = make([]int32, e.nSeg)
-	e.segSlot = make([]int32, e.nSeg)
-	e.segRate = make([]float64, e.nSeg)
 	return e
+}
+
+// newEngineShell builds the topology-independent part of an Engine.
+func newEngineShell(topo topology.Topology, maxPaths int) *Engine {
+	e := &Engine{topo: topo, maxPaths: maxPaths, dirtyGen: 1, chGen: 1}
+	if e.maxPaths <= 0 {
+		e.maxPaths = 4
+	}
+	e.paths = make(map[int64][]topology.Path)
+	return e
+}
+
+// initSegs sizes every per-segment table for n segments.
+func (e *Engine) initSegs(n int) {
+	e.nSeg = n
+	e.segCap = make([]float64, n)
+	e.segFlows = make([]int32, n)
+	e.segStamp = make([]int32, n)
+	e.segSlot = make([]int32, n)
+	e.segRate = make([]float64, n)
+	e.inRated = make([]bool, n)
+	e.dirtyMark = make([]int32, n)
+	e.memb = make([][]membEntry, n)
 }
 
 // Now returns the engine's fluid clock (the last Advance target).
@@ -192,31 +289,118 @@ func (e *Engine) Now() sim.Time { return e.now }
 // Active returns the number of in-flight flows.
 func (e *Engine) Active() int { return len(e.active) }
 
+// NSegs returns the engine's segment count (local space for scoped
+// engines).
+func (e *Engine) NSegs() int { return e.nSeg }
+
 // ActiveTo returns the number of in-flight flows destined to node n —
 // the hybrid classifier's incast fan-in signal.
 func (e *Engine) ActiveTo(n topology.NodeID) int { return int(e.activeTo[n]) }
 
+// Solves returns how many times the fair-share solver has run — the
+// redundant-resolve regression tests pin this on quiet intervals.
+func (e *Engine) Solves() int64 { return e.solves }
+
+// SetForceFull switches the engine to always re-solve from scratch
+// instead of patching the affected component — the reference mode the
+// equivalence tests and BenchmarkSolverIncremental compare against.
+func (e *Engine) SetForceFull(v bool) { e.forceFull = v }
+
 // SegmentRate returns the solver-allocated bits/s on the fabric segment
 // from switch s towards its nbIdx-th neighbor, and the segment's
 // capacity. Valid after the last Advance/Start (the solver runs lazily;
-// call Resolve first if rates must be fresh).
+// call Resolve first if rates must be fresh). Scoped engines accept only
+// switches their scope owns.
 func (e *Engine) SegmentRate(s topology.SwitchID, nbIdx int) (rate, cap float64) {
-	i := e.segOff[s] + int32(nbIdx)
+	i := e.swBase[s] + int32(nbIdx)
 	return e.segRate[i], e.segCap[i]
 }
 
 // EdgeDownRate returns allocated bits/s and capacity on the switch->node
 // edge segment of n.
 func (e *Engine) EdgeDownRate(n topology.NodeID) (rate, cap float64) {
-	i := e.edgeDown + int32(n)
+	i := e.nodeDn[n]
 	return e.segRate[i], e.segCap[i]
 }
 
 // EdgeUpRate returns allocated bits/s and capacity on the node->switch
 // edge segment of n.
 func (e *Engine) EdgeUpRate(n topology.NodeID) (rate, cap float64) {
-	i := e.edgeUp + int32(n)
+	i := e.nodeUp[n]
 	return e.segRate[i], e.segCap[i]
+}
+
+// SegRateAt returns the allocated bits/s on segment s of this engine's
+// own index space (the exchange path reads rates by Changed() index).
+func (e *Engine) SegRateAt(s int32) float64 { return e.segRate[s] }
+
+// GlobalSeg translates one of this engine's segment indices to the
+// global (full-engine) segment id: identity for full engines.
+func (e *Engine) GlobalSeg(s int32) int32 {
+	if e.gid == nil {
+		return s
+	}
+	return e.gid[s]
+}
+
+// SetExtRate declares that flows solved in a foreign engine consume r
+// bits/s of segment s (this engine's index space), derating its
+// effective capacity for the local solver. The segment joins the dirty
+// seeds; callers must have Advanced this engine to the change's event
+// time first, then Resolve.
+func (e *Engine) SetExtRate(s int32, r float64) {
+	if e.ext == nil {
+		if r == 0 {
+			return
+		}
+		e.ext = make([]float64, e.nSeg)
+	}
+	if e.ext[s] == r {
+		return
+	}
+	e.ext[s] = r
+	e.markDirty(s)
+}
+
+// EnableChangeTracking turns on the changed-segment journal consumed by
+// the sharded epoch exchange (Changed / ResetChanged).
+func (e *Engine) EnableChangeTracking() {
+	if e.chMark == nil {
+		e.chMark = make([]int32, e.nSeg)
+	}
+}
+
+// Changed lists the segments whose allocated rate may have changed since
+// the last ResetChanged (deduplicated, unordered beyond solve order).
+func (e *Engine) Changed() []int32 { return e.changed }
+
+// ResetChanged clears the changed-segment journal.
+func (e *Engine) ResetChanged() {
+	e.changed = e.changed[:0]
+	e.chGen++
+}
+
+// markChanged journals a segment whose rate the current solve may alter.
+//
+//simlint:hotpath
+func (e *Engine) markChanged(s int32) {
+	if e.chMark == nil || e.chMark[s] == e.chGen {
+		return
+	}
+	e.chMark[s] = e.chGen
+	e.changed = append(e.changed, s)
+}
+
+// markDirty seeds the next solve's affected-component expansion with s.
+//
+//simlint:hotpath
+func (e *Engine) markDirty(s int32) {
+	e.dirty = true
+	if e.dirtyMark[s] == e.dirtyGen {
+		return
+	}
+	e.dirtyMark[s] = e.dirtyGen
+	e.dirtySegs = append(e.dirtySegs, s)
 }
 
 // TakeProgress returns the whole bytes delivered by fluid progress since
@@ -230,8 +414,9 @@ func (e *Engine) TakeProgress() int64 {
 }
 
 // Resolve runs the fair-share solver if the active set changed since the
-// last solve. Exposed so background-load publication can snapshot fresh
-// rates without advancing time.
+// last solve. Exposed so background-load publication and the epoch
+// exchange can snapshot fresh rates without advancing time; the engine
+// must already stand at the set change's event time.
 func (e *Engine) Resolve() {
 	if e.dirty {
 		e.solve()
@@ -241,7 +426,9 @@ func (e *Engine) Resolve() {
 // Start admits a fluid flow of bytes payload bytes from src to dst and
 // returns its id. Path choice is deterministic: among the cached minimal
 // candidates, the one whose most-loaded fabric segment carries the
-// fewest flows (ties: fewer total flows, then candidate order).
+// fewest flows (ties: fewer total flows, then candidate order). The rate
+// solve is lazy — it folds in at the next Advance/Resolve, so a burst of
+// Starts at one instant costs one component solve, not one per Start.
 func (e *Engine) Start(src, dst topology.NodeID, bytes int64, opt FlowOpts) int64 {
 	f := e.alloc()
 	f.src, f.dst = src, dst
@@ -251,12 +438,14 @@ func (e *Engine) Start(src, dst topology.NodeID, bytes int64, opt FlowOpts) int6
 	f.ackLat = opt.AckLatency
 	f.arg = opt.Arg
 	e.buildSegs(f)
-	for _, s := range f.segs {
+	for i, s := range f.segs {
 		e.segFlows[s]++
+		f.segPos = append(f.segPos, int32(len(e.memb[s])))
+		e.memb[s] = append(e.memb[s], membEntry{f: f, si: int32(i)}) //simlint:retained -- membership row; cleared on remove
+		e.markDirty(s)
 	}
 	e.activeTo[dst]++
 	e.active = append(e.active, f)
-	e.dirty = true
 	return f.id
 }
 
@@ -279,16 +468,17 @@ func (e *Engine) alloc() *Flow {
 // edge up, fabric hops, edge down.
 func (e *Engine) buildSegs(f *Flow) {
 	f.segs = f.segs[:0]
-	f.segs = append(f.segs, e.edgeUp+int32(f.src))
+	f.segPos = f.segPos[:0]
+	f.segs = append(f.segs, e.nodeUp[f.src])
 	a, b := e.topo.SwitchOf(f.src), e.topo.SwitchOf(f.dst)
 	if a != b {
 		p := e.choosePath(a, b)
 		for i := 0; i+1 < len(p); i++ {
 			nb := e.topo.NeighborIndex(p[i], p[i+1])
-			f.segs = append(f.segs, e.segOff[p[i]]+int32(nb))
+			f.segs = append(f.segs, e.swBase[p[i]]+int32(nb))
 		}
 	}
-	f.segs = append(f.segs, e.edgeDown+int32(f.dst))
+	f.segs = append(f.segs, e.nodeDn[f.dst])
 }
 
 // choosePath picks among the cached minimal candidates by current flow
@@ -301,7 +491,7 @@ func (e *Engine) choosePath(a, b topology.SwitchID) topology.Path {
 	for ci, p := range cands {
 		var mx, sum int32
 		for i := 0; i+1 < len(p); i++ {
-			s := e.segOff[p[i]] + int32(e.topo.NeighborIndex(p[i], p[i+1]))
+			s := e.swBase[p[i]] + int32(e.topo.NeighborIndex(p[i], p[i+1]))
 			n := e.segFlows[s]
 			if n > mx {
 				mx = n
@@ -315,29 +505,45 @@ func (e *Engine) choosePath(a, b topology.SwitchID) topology.Path {
 	return cands[best]
 }
 
-// candidates returns the cached minimal paths a->b, building the row on
+// candidates returns the cached minimal paths a->b, building the entry on
 // first use (MinimalPaths is deterministic and RNG-free by the Topology
-// contract, so the returned slices cache safely).
+// contract, so the returned slices cache safely). The cache is keyed,
+// never iterated.
 func (e *Engine) candidates(a, b topology.SwitchID) []topology.Path {
-	row := e.minPaths[a]
-	if row == nil {
-		row = make([][]topology.Path, e.topo.Switches())
-		e.minPaths[a] = row
-	}
-	ps := row[b]
-	if ps == nil {
+	key := int64(a)<<32 | int64(b)
+	ps, ok := e.paths[key]
+	if !ok {
 		ps = e.topo.MinimalPaths(a, b, e.maxPaths)
-		row[b] = ps
+		e.paths[key] = ps //simlint:retained -- per-pair path cache, bounded by used pairs
 	}
 	return ps
+}
+
+// Candidates exposes the cached minimal candidates for src->dst switches
+// (the fabric's fluid latency model and domain classifier reuse this
+// cache instead of growing their own dense rows).
+func (e *Engine) Candidates(a, b topology.SwitchID) []topology.Path {
+	return e.candidates(a, b)
 }
 
 // remove drops active[i] (swap with last; deterministic given the call
 // sequence) and returns the record to the free list.
 func (e *Engine) remove(i int) {
 	f := e.active[i]
-	for _, s := range f.segs {
+	for si, s := range f.segs {
 		e.segFlows[s]--
+		// Membership swap-removal with back-pointer repair.
+		row := e.memb[s]
+		k := f.segPos[si]
+		last := len(row) - 1
+		row[k] = row[last]
+		row[last] = membEntry{}
+		e.memb[s] = row[:last]
+		if int(k) < last {
+			moved := row[k]
+			moved.f.segPos[moved.si] = k
+		}
+		e.markDirty(s)
 	}
 	e.activeTo[f.dst]--
 	last := len(e.active) - 1
@@ -346,5 +552,4 @@ func (e *Engine) remove(i int) {
 	e.active = e.active[:last]
 	f.arg = nil
 	e.freeList = append(e.freeList, f)
-	e.dirty = true
 }

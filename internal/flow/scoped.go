@@ -1,0 +1,124 @@
+package flow
+
+import (
+	"repro/internal/topology"
+)
+
+// ShardSet is the fluid engine's domain decomposition: one scoped Engine
+// per partition domain, each covering only the segments whose owning
+// switch (or node) lives in that domain, in a compact local index space.
+// The global->local address tables (swBase/nodeUp/nodeDn) are built once
+// and shared by every engine — an entry is the base/index in the OWNING
+// domain's space, so a scoped engine must only ever be asked about
+// switches and nodes its domain owns. Each engine's gid table translates
+// local segments back to the global (full-engine) ids the boundary
+// exchange speaks.
+//
+// The intended wiring (see fabric): flows whose minimal candidates stay
+// inside one domain run on that domain's engine, concurrently with other
+// domains; flows crossing a cut run on a separate full Engine
+// (NewEngine) owned by the control thread, and the two layers exchange
+// per-segment allocated rates as external derating (SetExtRate) at epoch
+// barriers.
+type ShardSet struct {
+	// Engines holds one scoped engine per domain, indexed by domain id.
+	Engines []*Engine
+	// segDom/segLoc map a global segment id to its owning domain and its
+	// index in that domain's local space (the inverse of every gid).
+	segDom []int32
+	segLoc []int32
+	// activeTo is shared by all scoped engines: a local flow's destination
+	// is always domain-owned, so concurrent domains write disjoint rows —
+	// and readers (the hybrid classifier, on quiesced control state) see
+	// one fabric-wide fan-in figure with a single lookup.
+	activeTo []int32
+}
+
+// NewShardedEngines builds one scoped engine per domain of part over
+// topo. Segment capacities follow NewEngine exactly (parallel links pool
+// into one segment); every global segment is owned by exactly one scoped
+// engine, including cut-link exits (owned by the A-side switch's domain —
+// boundary flows consume them through the ext exchange, never directly).
+func NewShardedEngines(topo topology.Topology, caps Caps, part topology.Partition) *ShardSet {
+	sw, nodes := topo.Switches(), topo.Nodes()
+	k := part.Domains
+	ss := &ShardSet{Engines: make([]*Engine, k)}
+	for d := 0; d < k; d++ {
+		ss.Engines[d] = newEngineShell(topo, caps.MaxPaths)
+	}
+	// Lay out each domain's local segment space in global scan order,
+	// growing gid as the local id mint: fabric segments first (per switch,
+	// one per dense neighbor index), then node-up, then node-down edges —
+	// the same shape as NewEngine, restricted to the domain.
+	swBase := make([]int32, sw)
+	gBase := int32(0)
+	for s := 0; s < sw; s++ {
+		e := ss.Engines[part.Of[s]]
+		swBase[s] = int32(len(e.gid))
+		nc := int32(topo.NeighborCount(topology.SwitchID(s)))
+		for i := int32(0); i < nc; i++ {
+			e.gid = append(e.gid, gBase+i)
+		}
+		gBase += nc
+	}
+	gFabric := gBase
+	nodeUp := make([]int32, nodes)
+	nodeDn := make([]int32, nodes)
+	for n := 0; n < nodes; n++ {
+		e := ss.Engines[part.Of[topo.SwitchOf(topology.NodeID(n))]]
+		nodeUp[n] = int32(len(e.gid))
+		e.gid = append(e.gid, gFabric+int32(n))
+	}
+	for n := 0; n < nodes; n++ {
+		e := ss.Engines[part.Of[topo.SwitchOf(topology.NodeID(n))]]
+		nodeDn[n] = int32(len(e.gid))
+		e.gid = append(e.gid, gFabric+int32(nodes)+int32(n))
+	}
+	// Inverse tables for the barrier exchange (global -> owner, local).
+	nGlobal := int(gFabric) + 2*nodes
+	ss.segDom = make([]int32, nGlobal)
+	ss.segLoc = make([]int32, nGlobal)
+	ss.activeTo = make([]int32, nodes)
+	for d, e := range ss.Engines {
+		e.swBase, e.nodeUp, e.nodeDn = swBase, nodeUp, nodeDn
+		e.initSegs(len(e.gid))
+		e.activeTo = ss.activeTo
+		e.EnableChangeTracking()
+		for l, g := range e.gid {
+			ss.segDom[g] = int32(d)
+			ss.segLoc[g] = int32(l)
+		}
+	}
+	// Capacities: every link contributes to its owning engine's segments.
+	// A cut link's two directed segments land in different engines, each
+	// owned by the exit switch's domain.
+	for _, lk := range topo.Links() {
+		switch lk.Kind {
+		case topology.EdgeLink:
+			e := ss.Engines[part.Of[lk.A]]
+			e.segCap[nodeUp[lk.Node]] = caps.EdgeBits
+			e.segCap[nodeDn[lk.Node]] = caps.EdgeBits
+		case topology.LocalLink, topology.GlobalLink:
+			bits := caps.LocalBits
+			if lk.Kind == topology.GlobalLink {
+				bits = caps.GlobalBits
+			}
+			ea := ss.Engines[part.Of[lk.A]]
+			eb := ss.Engines[part.Of[lk.B]]
+			ea.segCap[swBase[lk.A]+int32(topo.NeighborIndex(lk.A, lk.B))] += bits
+			eb.segCap[swBase[lk.B]+int32(topo.NeighborIndex(lk.B, lk.A))] += bits
+		}
+	}
+	return ss
+}
+
+// Owner maps a global segment id to its owning domain and the segment's
+// index in that domain's local space.
+func (ss *ShardSet) Owner(g int32) (dom int, local int32) {
+	return int(ss.segDom[g]), ss.segLoc[g]
+}
+
+// ActiveTo is the fan-in of in-flight scoped flows destined to node n,
+// summed over every domain engine (they share one table — a local flow's
+// destination is always domain-owned, so writers never collide).
+func (ss *ShardSet) ActiveTo(n topology.NodeID) int32 { return ss.activeTo[n] }

@@ -1,0 +1,141 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestShardSetAddressing pins the scoped layout: every global segment is
+// owned by exactly one engine, gid and Owner are inverses, and per-engine
+// capacities agree with the full engine's on every owned segment.
+func TestShardSetAddressing(t *testing.T) {
+	topo := testTopo(t)
+	caps := Caps{EdgeBits: tEdge, LocalBits: tLocal, GlobalBits: tGlobal}
+	full := NewEngine(topo, caps)
+	ss := NewShardedEngines(topo, caps, topo.Partition(0))
+
+	if len(ss.Engines) != topo.Partition(0).Domains {
+		t.Fatalf("engines %d, want one per domain", len(ss.Engines))
+	}
+	covered := 0
+	for d, e := range ss.Engines {
+		covered += e.NSegs()
+		for l := int32(0); l < int32(e.NSegs()); l++ {
+			g := e.GlobalSeg(l)
+			od, ol := ss.Owner(g)
+			if od != d || ol != l {
+				t.Fatalf("Owner(%d) = (%d,%d), want (%d,%d)", g, od, ol, d, l)
+			}
+			if e.segCap[l] != full.segCap[g] {
+				t.Fatalf("segCap mismatch at global %d: %v vs %v", g, e.segCap[l], full.segCap[g])
+			}
+		}
+	}
+	if covered != full.NSegs() {
+		t.Fatalf("scoped engines cover %d segments, full engine has %d", covered, full.NSegs())
+	}
+}
+
+// TestShardSetIntraDomainRates runs the same intra-domain flow mix on the
+// scoped engines and on one full engine: with no cross-domain traffic the
+// domains are independent components, so every rate must match exactly.
+func TestShardSetIntraDomainRates(t *testing.T) {
+	topo := testTopo(t)
+	caps := Caps{EdgeBits: tEdge, LocalBits: tLocal, GlobalBits: tGlobal}
+	full := NewEngine(topo, caps)
+	full.Hooks = &recorder{}
+	part := topo.Partition(0)
+	ss := NewShardedEngines(topo, caps, part)
+
+	nodes := topo.Nodes()
+	started := 0
+	for n := 0; n < nodes; n++ {
+		src := topology.NodeID(n)
+		dst := topology.NodeID((n + 2) % nodes)
+		sd := part.Of[topo.SwitchOf(src)]
+		if sd != part.Of[topo.SwitchOf(dst)] {
+			continue
+		}
+		e := ss.Engines[sd]
+		if e.Hooks == nil {
+			e.Hooks = &recorder{}
+		}
+		full.Start(src, dst, 1<<20, FlowOpts{})
+		e.Start(src, dst, 1<<20, FlowOpts{})
+		started++
+	}
+	if started == 0 {
+		t.Fatal("no intra-domain pairs found")
+	}
+	full.Resolve()
+	for _, e := range ss.Engines {
+		e.Resolve()
+		for l := int32(0); l < int32(e.NSegs()); l++ {
+			if got, want := e.SegRateAt(l), full.SegRateAt(e.GlobalSeg(l)); got != want {
+				t.Fatalf("segment rate mismatch at global %d: scoped %v, full %v",
+					e.GlobalSeg(l), got, want)
+			}
+		}
+		// The shared fan-in table must agree with the full engine's.
+		for n := 0; n < nodes; n++ {
+			if e.ActiveTo(topology.NodeID(n)) != full.ActiveTo(topology.NodeID(n)) {
+				t.Fatalf("ActiveTo(%d): scoped %d, full %d",
+					n, e.ActiveTo(topology.NodeID(n)), full.ActiveTo(topology.NodeID(n)))
+			}
+		}
+	}
+}
+
+// TestShardSetExtRateDerates checks the boundary coupling primitive: an
+// external rate on a scoped engine's segment derates the capacity its
+// local solver hands out, and clearing it restores the full share.
+func TestShardSetExtRateDerates(t *testing.T) {
+	topo := testTopo(t)
+	caps := Caps{EdgeBits: tEdge, LocalBits: tLocal, GlobalBits: tGlobal}
+	part := topo.Partition(0)
+	ss := NewShardedEngines(topo, caps, part)
+	// One flow in domain 0 between two nodes on the same switch pair.
+	e := ss.Engines[0]
+	e.Hooks = &recorder{}
+	var src, dst topology.NodeID = -1, -1
+	for n := 0; n < topo.Nodes(); n++ {
+		if part.Of[topo.SwitchOf(topology.NodeID(n))] == 0 {
+			if src < 0 {
+				src = topology.NodeID(n)
+			} else {
+				dst = topology.NodeID(n)
+				break
+			}
+		}
+	}
+	e.Start(src, dst, 8<<20, FlowOpts{})
+	e.Resolve()
+	up := e.nodeUp[src]
+	if got := e.SegRateAt(up); got != tEdge {
+		t.Fatalf("unloaded rate %v, want edge cap %v", got, tEdge)
+	}
+	e.SetExtRate(up, tEdge/2)
+	e.Resolve()
+	if got := e.SegRateAt(up); got != tEdge/2 {
+		t.Fatalf("derated rate %v, want %v", got, tEdge/2)
+	}
+	// Change journal: the re-solve must have recorded the segment.
+	found := false
+	for _, s := range e.Changed() {
+		if s == up {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("derated segment missing from change journal")
+	}
+	e.ResetChanged()
+	e.SetExtRate(up, 0)
+	e.Resolve()
+	if got := e.SegRateAt(up); got != tEdge {
+		t.Fatalf("restored rate %v, want %v", got, tEdge)
+	}
+	_ = sim.Time(0)
+}

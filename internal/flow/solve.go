@@ -1,35 +1,131 @@
 package flow
 
-import "repro/internal/sim"
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
 
 // completionEps absorbs float rounding when deciding a flow has drained:
 // the per-step deltas are exact to ~1e-5 bytes at simulation magnitudes,
 // so a hundredth of a byte is safely past any residue.
 const completionEps = 0.01
 
-// solve assigns every active flow its max–min fair rate by progressive
-// filling: repeatedly find the segment with the smallest fair share
-// (residual capacity / unfixed flows), fix that share for its flows, and
-// subtract them from every segment they cross. All iteration is in slice
-// order over engine-owned scratch, so the result is deterministic and the
-// steady state allocates nothing once the arrays have grown.
+// solve brings every active flow's rate up to date with the dirty set
+// changes: a full progressive fill when no valid solution exists yet (or
+// forceFull reference mode), otherwise an incremental re-fill of the
+// affected component only. Both paths run the same fill kernel over a
+// canonically id-ordered working set, so their results are bit-identical.
 //
 //simlint:hotpath
 func (e *Engine) solve() {
+	e.solves++
 	e.dirty = false
-	// Clear the previous solution's per-segment rates.
+	if e.forceFull || !e.solved {
+		e.solveFull()
+	} else {
+		e.solveIncremental()
+	}
+	e.dirtySegs = e.dirtySegs[:0]
+	e.dirtyGen++
+}
+
+// solveFull re-solves from scratch: clear the previous solution and fill
+// over the entire active set.
+//
+//simlint:hotpath
+func (e *Engine) solveFull() {
 	for _, s := range e.rated {
 		e.segRate[s] = 0
+		e.inRated[s] = false
+		e.markChanged(s)
 	}
 	e.rated = e.rated[:0]
-	if len(e.active) == 0 {
+	e.order = append(e.order[:0], e.active...)
+	e.sortOrder()
+	e.fill()
+	e.solved = true
+}
+
+// solveIncremental expands the affected component — segments reachable
+// from the dirty seeds through shared-flow adjacency — and re-fills only
+// its flows. Flows outside the component share no segment with anything
+// that changed (transitively), so the max–min allocation of their own
+// component, and hence their rates, are provably identical to a full
+// re-solve; the previous solution stands for them.
+//
+//simlint:hotpath
+func (e *Engine) solveIncremental() {
+	if len(e.dirtySegs) == 0 {
+		return
+	}
+	e.stamp++
+	e.comp = e.comp[:0]
+	for _, s := range e.dirtySegs {
+		if e.segStamp[s] != e.stamp {
+			e.segStamp[s] = e.stamp
+			e.comp = append(e.comp, s)
+		}
+	}
+	e.visit++
+	e.order = e.order[:0]
+	for qi := 0; qi < len(e.comp); qi++ {
+		for _, me := range e.memb[e.comp[qi]] {
+			f := me.f
+			if f.mark == e.visit {
+				continue
+			}
+			f.mark = e.visit
+			e.order = append(e.order, f)
+			for _, s2 := range f.segs {
+				if e.segStamp[s2] != e.stamp {
+					e.segStamp[s2] = e.stamp
+					e.comp = append(e.comp, s2)
+				}
+			}
+		}
+	}
+	// Reset the component's segment rates (orphaned seeds — segments a
+	// finished flow vacated — drop to zero here); fill re-exports the
+	// component flows' contributions.
+	for _, s := range e.comp {
+		e.segRate[s] = 0
+		e.markChanged(s)
+	}
+	e.sortOrder()
+	e.fill()
+}
+
+// sortOrder puts the fill working set into canonical flow-id order
+// through the persistent sorter (no per-solve boxing).
+//
+//simlint:hotpath
+func (e *Engine) sortOrder() {
+	e.sorter.f = e.order
+	sort.Sort(&e.sorter)
+	e.sorter.f = nil
+}
+
+// fill assigns every flow in e.order its max–min fair rate by progressive
+// filling: repeatedly find the segment with the smallest fair share
+// (residual capacity / unfixed flows), fix that share for its flows, and
+// subtract them from every segment they cross. All iteration is in slice
+// order (over the id-sorted working set) on engine-owned scratch, so the
+// result is deterministic — and independent of which superset of
+// components the working set spans, which is what makes the incremental
+// solve exact. Callers must have zeroed segRate over every segment the
+// working set touches.
+//
+//simlint:hotpath
+func (e *Engine) fill() {
+	if len(e.order) == 0 {
 		return
 	}
 
 	// Stamp the touched segment set and count flows per segment.
 	e.stamp++
 	e.touched = e.touched[:0]
-	for _, f := range e.active {
+	for _, f := range e.order {
 		f.rate = -1
 		for _, s := range f.segs {
 			if e.segStamp[s] != e.stamp {
@@ -45,17 +141,24 @@ func (e *Engine) solve() {
 	e.csrStart = grow32(e.csrStart, ns+1)
 	e.csrPos = grow32(e.csrPos, ns)
 	for i, s := range e.touched {
-		e.resid[i] = e.segCap[s]
+		c := e.segCap[s]
+		if e.ext != nil {
+			c -= e.ext[s]
+			if c < 0 {
+				c = 0
+			}
+		}
+		e.resid[i] = c
 		e.unfixed[i] = 0
 	}
-	for _, f := range e.active {
+	for _, f := range e.order {
 		for _, s := range f.segs {
 			e.unfixed[e.segSlot[s]]++
 		}
 	}
 
-	// CSR: group flow indices by slot so "the flows on segment s" is a
-	// contiguous scan.
+	// CSR: group working-set indices by slot so "the flows on segment s"
+	// is a contiguous scan.
 	e.csrStart[0] = 0
 	for i := 0; i < ns; i++ {
 		e.csrStart[i+1] = e.csrStart[i] + e.unfixed[i]
@@ -63,7 +166,7 @@ func (e *Engine) solve() {
 	}
 	total := int(e.csrStart[ns])
 	e.csrFlow = grow32(e.csrFlow, total)
-	for fi, f := range e.active {
+	for fi, f := range e.order {
 		for _, s := range f.segs {
 			sl := e.segSlot[s]
 			e.csrFlow[e.csrPos[sl]] = int32(fi)
@@ -72,7 +175,7 @@ func (e *Engine) solve() {
 	}
 
 	// Progressive filling.
-	remaining := len(e.active)
+	remaining := len(e.order)
 	for remaining > 0 {
 		bottleneck, share := -1, 0.0
 		for i := 0; i < ns; i++ {
@@ -91,7 +194,7 @@ func (e *Engine) solve() {
 			share = 0
 		}
 		for ci := e.csrStart[bottleneck]; ci < e.csrStart[bottleneck+1]; ci++ {
-			f := e.active[e.csrFlow[ci]]
+			f := e.order[e.csrFlow[ci]]
 			if f.rate >= 0 {
 				continue
 			}
@@ -105,13 +208,16 @@ func (e *Engine) solve() {
 		}
 	}
 
-	// Export per-segment allocated rates for background-load publication.
-	for _, f := range e.active {
+	// Export per-segment allocated rates for background-load publication
+	// and the epoch exchange.
+	for _, f := range e.order {
 		for _, s := range f.segs {
-			if e.segRate[s] == 0 {
+			if !e.inRated[s] {
+				e.inRated[s] = true
 				e.rated = append(e.rated, s)
 			}
 			e.segRate[s] += f.rate
+			e.markChanged(s)
 		}
 	}
 }
@@ -135,12 +241,15 @@ func (e *Engine) completionTime(f *Flow) sim.Time {
 }
 
 // NextWake returns the earliest time Advance has work to do: the nearest
-// projected completion or pending callback. Forever when idle.
+// projected completion or pending callback, or — with a set change
+// pending — the present, requesting an immediate tick so the solve folds
+// in exactly once at the next Advance rather than once per Start.
+// Forever when idle.
 //
 //simlint:hotpath
 func (e *Engine) NextWake() sim.Time {
 	if e.dirty {
-		e.solve()
+		return e.now
 	}
 	next := sim.Forever
 	for _, f := range e.active {
@@ -159,8 +268,18 @@ func (e *Engine) NextWake() sim.Time {
 // (time, sequence) order; they may Start new flows (the solver re-runs
 // lazily). Advance never runs backwards: to earlier than now is a no-op.
 //
+// A pending set change (dirty) folds in at the engine's current clock:
+// callers that care about exact start times (the fabric does) Advance to
+// their present before Start/SetExtRate, so the new solution takes over
+// at its event time instead of smearing back to the last tick. On a
+// quiet call with nothing due the early-out returns without scanning or
+// solving.
+//
 //simlint:hotpath
 func (e *Engine) Advance(to sim.Time) {
+	if !e.dirty && to <= e.now && (len(e.cbs) == 0 || e.cbs[0].at > e.now) {
+		return
+	}
 	for {
 		if e.dirty {
 			e.solve()
@@ -187,6 +306,11 @@ func (e *Engine) Advance(to sim.Time) {
 			}
 			e.now = step
 		}
+		// The target reached: fold in the pending set change at its event
+		// time (completion-triggered dirt re-solves on the next lap).
+		if e.dirty && e.now >= to {
+			e.solve()
+		}
 		// Retire drained flows (scan backwards so swap-removal keeps
 		// unvisited entries stable).
 		for i := len(e.active) - 1; i >= 0; i-- {
@@ -211,7 +335,7 @@ func (e *Engine) Advance(to sim.Time) {
 				e.Hooks.FlowDelivered(cb.at, cb.arg)
 			}
 		}
-		if e.now >= to {
+		if e.now >= to && !e.dirty {
 			return
 		}
 	}

@@ -211,6 +211,8 @@ func receiverOwned(info *types.Info, recv types.Object, expr ast.Expr) bool {
 			expr = e.X
 		case *ast.IndexExpr:
 			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
 		case *ast.StarExpr:
 			expr = e.X
 		default:

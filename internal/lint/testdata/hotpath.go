@@ -15,6 +15,8 @@ func sink(v any) { _ = v }
 func (r *ring) hot(v int, out []int) []int {
 	r.buf = append(r.buf, v) // receiver-owned append: clean
 
+	r.buf = append(r.buf[:0], v) // reslicing a receiver-owned buffer: still clean
+
 	f := func() int { return v } // want "closure captures"
 	_ = f
 

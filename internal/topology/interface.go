@@ -91,10 +91,23 @@ type adjacency struct {
 	sw       int
 	adj      [][]SwitchID
 	adjLinks [][][]int
+	// adjIndex is the dense sw x sw lookup matrix. Its O(sw^2) footprint
+	// is fine for experiment-scale fabrics but fatal at million-endpoint
+	// scale (65k switches would need a 17 GB matrix), so fabrics above
+	// denseAdjSwitches use per-row sorted neighbor lists (nbSorted with
+	// parallel nbSlot) and binary search instead — ~5 probes at realistic
+	// radices, still allocation-free on the per-hop path.
 	adjIndex [][]int32
+	nbSorted [][]SwitchID
+	nbSlot   [][]int32
 	// diam caches the BFS diameter (-1 until first asked for).
 	diam int
 }
+
+// denseAdjSwitches is the largest switch count that keeps the dense
+// index matrix (2048^2 x 4 B = 16 MB); every golden- and bench-scale
+// topology is far below it, so their lookup path is unchanged.
+const denseAdjSwitches = 2048
 
 // initAdjacency sizes the structure for sw switches. The adjIndex rows
 // share one backing slice to keep the matrix a single allocation.
@@ -103,6 +116,11 @@ func (m *adjacency) initAdjacency(sw int) {
 	m.diam = -1
 	m.adj = make([][]SwitchID, sw)
 	m.adjLinks = make([][][]int, sw)
+	if sw > denseAdjSwitches {
+		m.nbSorted = make([][]SwitchID, sw)
+		m.nbSlot = make([][]int32, sw)
+		return
+	}
 	m.adjIndex = make([][]int32, sw)
 	idx := make([]int32, sw*sw)
 	for i := range idx {
@@ -113,6 +131,27 @@ func (m *adjacency) initAdjacency(sw int) {
 	}
 }
 
+// lookup returns b's dense slot in a's neighbor list, or -1.
+func (m *adjacency) lookup(a, b SwitchID) int32 {
+	if m.adjIndex != nil {
+		return m.adjIndex[a][b]
+	}
+	row := m.nbSorted[a]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(row) && row[lo] == b {
+		return m.nbSlot[a][lo]
+	}
+	return -1
+}
+
 // addAdj records link id in both directions of the adjacency.
 func (m *adjacency) addAdj(a, b SwitchID, id int) {
 	m.addAdjDir(a, b, id)
@@ -121,10 +160,24 @@ func (m *adjacency) addAdj(a, b SwitchID, id int) {
 
 // addAdjDir appends link id to the a->b adjacency.
 func (m *adjacency) addAdjDir(a, b SwitchID, id int) {
-	i := m.adjIndex[a][b]
+	i := m.lookup(a, b)
 	if i < 0 {
 		i = int32(len(m.adj[a]))
-		m.adjIndex[a][b] = i
+		if m.adjIndex != nil {
+			m.adjIndex[a][b] = i
+		} else {
+			row, slot := m.nbSorted[a], m.nbSlot[a]
+			pos := 0
+			for pos < len(row) && row[pos] < b {
+				pos++
+			}
+			row = append(row, 0)
+			slot = append(slot, 0)
+			copy(row[pos+1:], row[pos:])
+			copy(slot[pos+1:], slot[pos:])
+			row[pos], slot[pos] = b, i
+			m.nbSorted[a], m.nbSlot[a] = row, slot
+		}
 		m.adj[a] = append(m.adj[a], b)
 		m.adjLinks[a] = append(m.adjLinks[a], nil)
 	}
@@ -133,7 +186,7 @@ func (m *adjacency) addAdjDir(a, b SwitchID, id int) {
 
 // localAdjacent reports whether two distinct switches share a direct link.
 func (m *adjacency) localAdjacent(a, b SwitchID) bool {
-	return m.adjIndex[a][b] >= 0
+	return m.lookup(a, b) >= 0
 }
 
 // Switches returns the switch count.
@@ -145,7 +198,7 @@ func (m *adjacency) Switches() int { return m.sw }
 // (e.g. fabric egress-port tables) can be slice-indexed by it — the
 // routing hot path does zero map lookups per hop.
 func (m *adjacency) NeighborIndex(a, b SwitchID) int {
-	return int(m.adjIndex[a][b])
+	return int(m.lookup(a, b))
 }
 
 // NeighborCount returns the number of switches adjacent to s.
@@ -162,7 +215,7 @@ func (m *adjacency) Neighbors(s SwitchID) []SwitchID {
 // LinksBetween returns the IDs of the (parallel) links directly connecting
 // switches a and b, or nil when they are not adjacent.
 func (m *adjacency) LinksBetween(a, b SwitchID) []int {
-	if i := m.adjIndex[a][b]; i >= 0 {
+	if i := m.lookup(a, b); i >= 0 {
 		return m.adjLinks[a][i]
 	}
 	return nil
@@ -180,7 +233,7 @@ func (m *adjacency) Valid(p Path) bool {
 			return false
 		}
 		seen[s] = true
-		if i > 0 && m.adjIndex[p[i-1]][s] < 0 {
+		if i > 0 && m.lookup(p[i-1], s) < 0 {
 			return false
 		}
 	}
